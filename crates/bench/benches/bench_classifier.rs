@@ -1,0 +1,109 @@
+//! Classifier benchmarks (paper Table 1) and model ablations.
+//!
+//! Regenerates Table 1's evaluation (TF-IDF + SGD, 2/3–1/3 split) and
+//! compares the paper's hinge-loss SGD against logistic SGD, multinomial
+//! naive Bayes and the keyword-rule baseline — the design-choice ablation
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dox_bench::BenchFixture;
+use dox_ml::baseline::{KeywordBaseline, MultinomialNb};
+use dox_ml::eval::evaluate_classifier;
+use dox_ml::metrics::ClassificationReport;
+use dox_ml::sgd::{SgdClassifier, SgdConfig};
+use dox_textkit::tfidf::{TfidfConfig, TfidfVectorizer};
+use std::hint::black_box;
+
+fn quality_note(name: &str, report: &ClassificationReport) {
+    eprintln!(
+        "[table1:{name}] dox P={:.2} R={:.2} F1={:.2} | not P={:.2} R={:.2} F1={:.2}",
+        report.dox.precision,
+        report.dox.recall,
+        report.dox.f1,
+        report.not.precision,
+        report.not.recall,
+        report.not.f1,
+    );
+}
+
+fn bench_training(c: &mut Criterion) {
+    let fixture = BenchFixture::new();
+    let (texts, labels) = fixture.training_sets(0.05);
+
+    // Print the Table 1 numbers once per run so `cargo bench` output
+    // documents the quality alongside the speed.
+    let outcome = evaluate_classifier(
+        &texts,
+        &labels,
+        2.0 / 3.0,
+        7,
+        SgdConfig::paper(),
+        TfidfConfig::default(),
+    );
+    quality_note("sgd-hinge", &outcome.report);
+    let logistic = evaluate_classifier(
+        &texts,
+        &labels,
+        2.0 / 3.0,
+        7,
+        SgdConfig::logistic(),
+        TfidfConfig::default(),
+    );
+    quality_note("sgd-log", &logistic.report);
+
+    let mut group = c.benchmark_group("classifier");
+    group.sample_size(10);
+    group.bench_function("train_paper_protocol", |b| {
+        b.iter(|| {
+            black_box(evaluate_classifier(
+                black_box(&texts),
+                black_box(&labels),
+                2.0 / 3.0,
+                7,
+                SgdConfig::paper(),
+                TfidfConfig::default(),
+            ))
+        })
+    });
+
+    // Inference throughput over a pre-vectorized batch.
+    let mut vect = TfidfVectorizer::default();
+    let vecs = vect.fit_transform(&texts);
+    let n_features = vect.model().expect("fitted").n_features();
+    let clf = SgdClassifier::fit(SgdConfig::paper(), n_features, &vecs, &labels);
+    group.bench_function("predict_batch", |b| {
+        b.iter(|| black_box(clf.predict_batch(black_box(&vecs))))
+    });
+
+    let nb = MultinomialNb::fit(n_features, &vecs, &labels, 1.0);
+    group.bench_function("naive_bayes_predict_batch", |b| {
+        b.iter(|| black_box(nb.predict_batch(black_box(&vecs))))
+    });
+
+    let kw = KeywordBaseline::default();
+    group.bench_function("keyword_baseline_predict", |b| {
+        b.iter(|| {
+            let hits = texts
+                .iter()
+                .filter(|t| kw.predict(black_box(t)))
+                .count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    // Ablation quality notes.
+    let nb_pred = nb.predict_batch(&vecs);
+    quality_note(
+        "naive-bayes(train-set)",
+        &ClassificationReport::from_labels(&nb_pred, &labels),
+    );
+    let kw_pred: Vec<bool> = texts.iter().map(|t| kw.predict(t)).collect();
+    quality_note(
+        "keyword-rules(train-set)",
+        &ClassificationReport::from_labels(&kw_pred, &labels),
+    );
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

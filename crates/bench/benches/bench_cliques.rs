@@ -1,0 +1,56 @@
+//! Doxer-network analysis benchmarks (paper Figure 2): building the
+//! credit/follow graph and enumerating maximal cliques (Bron–Kerbosch)
+//! over a paper-scale doxer population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dox_core::analysis::doxnet::{maximal_cliques, summarize, DoxerGraph};
+use dox_synth::doxers::DoxerPopulation;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// Materialize the population's team structure as a graph (what the study
+/// recovers through credits + Twitter follows).
+fn population_graph(pop: &DoxerPopulation) -> DoxerGraph {
+    let mut g = DoxerGraph::default();
+    for d in pop.doxers() {
+        g.aliases.push(d.alias.clone());
+        g.twitter.push(d.twitter.clone());
+        g.adj.push(BTreeSet::new());
+    }
+    for team in pop.teams() {
+        for (i, &a) in team.iter().enumerate() {
+            for &b in &team[i + 1..] {
+                if pop.mutual_follow(a, b) {
+                    g.adj[a as usize].insert(b as usize);
+                    g.adj[b as usize].insert(a as usize);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn bench_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doxnet");
+    for scale in [0.25, 0.5, 1.0] {
+        let pop = DoxerPopulation::generate(1, scale);
+        let graph = population_graph(&pop);
+        group.bench_with_input(
+            BenchmarkId::new("bron_kerbosch", format!("scale{scale}")),
+            &graph,
+            |b, g| b.iter(|| black_box(maximal_cliques(black_box(g)))),
+        );
+    }
+    group.finish();
+
+    // Figure 2's caption numbers at paper scale.
+    let pop = DoxerPopulation::paper(1);
+    let s = summarize(&population_graph(&pop));
+    eprintln!(
+        "[fig2] doxers {} with-twitter {} in-big-cliques {} max-clique {}",
+        s.total_doxers, s.with_twitter, s.in_big_cliques, s.max_clique
+    );
+}
+
+criterion_group!(benches, bench_cliques);
+criterion_main!(benches);

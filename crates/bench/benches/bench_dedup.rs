@@ -1,0 +1,71 @@
+//! De-duplication benchmarks (paper §3.1.4): the streaming dedup over a
+//! realistic dox stream with reposts, plus the SimHash-fuzzy ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dox_bench::BenchFixture;
+use dox_core::dedup::Deduplicator;
+use dox_extract::record::{extract, ExtractedDox};
+use std::hint::black_box;
+
+/// A stream of doxes in which every third document re-posts an earlier one
+/// (half of those byte-exact, half with a cosmetic suffix).
+fn duplicate_stream(bodies: &[String]) -> Vec<(String, ExtractedDox)> {
+    let mut out: Vec<(String, ExtractedDox)> = Vec::new();
+    for (i, body) in bodies.iter().enumerate() {
+        let text = if i % 3 == 2 && i >= 3 {
+            let orig = &out[i - 3].0;
+            if i % 2 == 0 {
+                orig.clone()
+            } else {
+                format!("{orig}\nUPDATE: reposted")
+            }
+        } else {
+            body.clone()
+        };
+        let rec = extract(&text);
+        out.push((text, rec));
+    }
+    out
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let fixture = BenchFixture::new();
+    let stream = duplicate_stream(&fixture.dox_bodies(300));
+
+    let mut group = c.benchmark_group("dedup");
+    group.bench_function("paper_two_pass_300_docs", |b| {
+        b.iter(|| {
+            let mut d = Deduplicator::new();
+            for (i, (text, rec)) in stream.iter().enumerate() {
+                black_box(d.check(i as u64, text, rec));
+            }
+            black_box(d.counts)
+        })
+    });
+    group.bench_function("with_fuzzy_simhash_300_docs", |b| {
+        b.iter(|| {
+            let mut d = Deduplicator::with_fuzzy(3);
+            for (i, (text, rec)) in stream.iter().enumerate() {
+                black_box(d.check(i as u64, text, rec));
+            }
+            black_box(d.counts)
+        })
+    });
+    group.finish();
+
+    // Report the funnel split once (feeds the Figure 1 notes).
+    let mut d = Deduplicator::new();
+    for (i, (text, rec)) in stream.iter().enumerate() {
+        d.check(i as u64, text, rec);
+    }
+    eprintln!(
+        "[fig1:dedup] total {} exact {} account-set {} unique {}",
+        d.counts.total,
+        d.counts.exact,
+        d.counts.account_set,
+        d.counts.unique()
+    );
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Geolocation benchmarks (paper §4.1): longest-prefix lookups against the
+//! synthetic geo-IP database and full consistency classifications.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dox_bench::BenchFixture;
+use dox_geo::consistency::classify_pair;
+use dox_geo::geoip::GeoIpDb;
+use dox_geo::postal::PostalAddress;
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn bench_geoip(c: &mut Criterion) {
+    let fixture = BenchFixture::new();
+    let db = GeoIpDb::build(&fixture.world, &fixture.alloc);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let ips: Vec<Ipv4Addr> = (0..10_000)
+        .map(|_| {
+            let isp = &fixture.alloc.isps()[rng.random_range(0..fixture.alloc.isps().len())];
+            let block = &isp.blocks[rng.random_range(0..isp.blocks.len())];
+            block.nth(rng.random_range(0..block.size())).expect("in block")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("geoip");
+    group.throughput(Throughput::Elements(ips.len() as u64));
+    group.bench_function("lookup_10k", |b| {
+        b.iter(|| {
+            for &ip in &ips {
+                black_box(db.lookup(black_box(ip)));
+            }
+        })
+    });
+
+    let city = &fixture.world.cities()[3];
+    let address = PostalAddress {
+        number: 12,
+        street: "Bench Street".into(),
+        city: city.id,
+        zip: city.zip_range.0,
+    };
+    group.throughput(Throughput::Elements(ips.len() as u64));
+    group.bench_function("classify_pair_10k", |b| {
+        b.iter(|| {
+            for &ip in &ips {
+                black_box(classify_pair(
+                    &fixture.world,
+                    &db,
+                    black_box(ip),
+                    black_box(&address),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geoip);
+criterion_main!(benches);

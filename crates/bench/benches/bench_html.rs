@@ -1,0 +1,41 @@
+//! HTML-to-text conversion throughput (the §3.1.2 pre-processing step for
+//! the ~285 k chan documents).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dox_textkit::html::html_to_text;
+use std::hint::black_box;
+
+fn chan_like_posts(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "<a href=\"#p{0}\" class=\"quotelink\">&gt;&gt;{0}</a><br>\
+                 post number {i} with some text<br>\
+                 <span class=\"quote\">&gt;greentext line {i}</span><br>\
+                 Name: Person {i}<br>Phone: (312) 555-01{1:02}<br>\
+                 <ul><li>item one</li><li>item two</li></ul>\
+                 trailing words &amp; entities &#039;quoted&#039;",
+                10_000_000 + i,
+                i % 100
+            )
+        })
+        .collect()
+}
+
+fn bench_html(c: &mut Criterion) {
+    let posts = chan_like_posts(500);
+    let total: u64 = posts.iter().map(|p| p.len() as u64).sum();
+    let mut group = c.benchmark_group("html2text");
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function("chan_posts_500", |b| {
+        b.iter(|| {
+            for p in &posts {
+                black_box(html_to_text(black_box(p)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_html);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! End-to-end pipeline benchmark (paper Figure 1 / Table 4): collect,
+//! classify, extract and de-duplicate a scaled two-period corpus, plus the
+//! filter-era counterfactual ablation of the behavioural model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dox_bench::BenchFixture;
+use dox_core::pipeline::Pipeline;
+use dox_core::study::{Study, StudyConfig};
+use dox_core::training::DoxClassifier;
+use dox_sites::collect::Collector;
+use dox_synth::config::SynthConfig;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let fixture = BenchFixture::new();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for scale in [0.002, 0.01] {
+        let cfg = SynthConfig::at_scale(scale);
+        let docs = cfg.total_documents();
+        group.throughput(Throughput::Elements(docs));
+        group.bench_with_input(
+            BenchmarkId::new("collect_classify_dedup", format!("scale{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let mut gen = fixture.generator(scale);
+                    let (texts, labels) = gen.training_sets();
+                    let (clf, _) = DoxClassifier::train(&texts, &labels, fixture.seed);
+                    let mut pipeline = Pipeline::new(clf);
+                    let mut collector = Collector::new(fixture.seed);
+                    for period in [1u8, 2] {
+                        collector.collect_period(&mut gen, period, &mut |c| {
+                            pipeline.process(&c, period)
+                        });
+                    }
+                    black_box(pipeline.counters().clone())
+                })
+            },
+        );
+    }
+
+    group.bench_function("full_study_scale0.005", |b| {
+        b.iter(|| black_box(Study::new(StudyConfig::at_scale(0.005)).run()))
+    });
+    group.finish();
+
+    // One full study at a more substantial scale, with its funnel printed
+    // (the Figure 1 / Table 4 shape check for `cargo bench` logs).
+    let r = Study::new(StudyConfig::at_scale(0.01)).run();
+    eprintln!(
+        "[fig1] docs {} -> dox {} -> unique {} | detection tp={} fp={}",
+        r.pipeline.total,
+        r.pipeline.classified_dox,
+        r.pipeline.unique_doxes(),
+        r.detection.0,
+        r.detection.1
+    );
+    eprintln!(
+        "[t10] control any-change {:.2}% | doxed-vs-control ratios {:?}",
+        r.control_row.frac_any_change() * 100.0,
+        r.doxed_vs_control
+    );
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

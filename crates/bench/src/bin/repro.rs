@@ -1,0 +1,133 @@
+//! The reproduction harness: regenerate every table and figure.
+//!
+//! ```text
+//! cargo run -p dox-bench --release --bin repro -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --scale <0..1]     corpus scale (default 0.05; 1.0 = paper scale)
+//!   --seed <u64>       master seed (default: the study default)
+//!   --table <id>       print one result only: fig1, t1..t10, fig2, fig3,
+//!                      v-ip, v-comments (default: everything)
+//!   --json <path>      also write the machine-readable report
+//!   --quiet            suppress progress notes on stderr
+//! ```
+
+use dox_core::report;
+use dox_core::study::{Study, StudyConfig};
+use std::process::ExitCode;
+
+struct Args {
+    scale: f64,
+    seed: Option<u64>,
+    table: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 0.05,
+        seed: None,
+        table: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err(format!("scale must be in (0, 1], got {}", args.scale));
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--table" => args.table = Some(it.next().ok_or("--table needs a value")?),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                eprintln!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "repro — regenerate every table/figure of the doxing study
+  --scale <0..1]   corpus scale (default 0.05; 1.0 = paper scale)
+  --seed <u64>     master seed
+  --table <id>     fig1 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 fig2 fig3 v-ip v-comments
+  --json <path>    write the JSON report
+  --quiet          no progress output";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = StudyConfig::at_scale(args.scale);
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+        config.synth.seed = seed;
+    }
+    if !args.quiet {
+        eprintln!(
+            "repro: scale {} ({} documents, {} dox postings), seed {:#x}",
+            args.scale,
+            config.synth.total_documents(),
+            config.synth.total_doxes(),
+            config.seed
+        );
+        eprintln!("repro: running the full study…");
+    }
+    let start = std::time::Instant::now();
+    let r = Study::new(config).run();
+    if !args.quiet {
+        eprintln!("repro: study completed in {:.1?}", start.elapsed());
+    }
+
+    let output = match args.table.as_deref() {
+        None => report::full_report(&r),
+        Some("fig1") => report::figure1(&r),
+        Some("t1") => report::table1(&r),
+        Some("t2") => report::table2(&r),
+        Some("t3") => report::table3(&r),
+        Some("t4") => report::table4(&r),
+        Some("t5") => report::table5(&r),
+        Some("t6") => report::table6(&r),
+        Some("t7") => report::table7(&r),
+        Some("t8") => report::table8(&r),
+        Some("t9") => report::table9(&r),
+        Some("t10") => report::table10(&r),
+        Some("fig2") => report::figure2(&r),
+        Some("fig3") => report::figure3(&r),
+        Some("v-ip") => report::validation_ip(&r),
+        Some("v-comments") => report::validation_comments(&r),
+        Some(other) => {
+            eprintln!("error: unknown table {other:?}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{output}");
+
+    if let Some(path) = args.json {
+        if let Err(e) = std::fs::write(&path, report::to_json(&r)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("repro: JSON report written to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

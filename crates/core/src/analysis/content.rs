@@ -1,0 +1,129 @@
+//! Sensitive-information categories (paper Table 6).
+//!
+//! Counts, over the manually labeled doxes, how many include each
+//! demographic/sensitive category. Mirrors the paper's privacy-preserving
+//! datastore: only booleans per category, never values.
+
+use crate::labeling::LabeledDox;
+use serde::Serialize;
+
+/// One Table 6 row.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CategoryCount {
+    /// Category label, matching the paper's row names.
+    pub label: &'static str,
+    /// Doxes including the category.
+    pub count: usize,
+    /// As a fraction of labeled doxes.
+    pub fraction: f64,
+}
+
+/// The full Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ContentBreakdown {
+    /// Rows in the paper's order (common categories, then rare ones).
+    pub rows: Vec<CategoryCount>,
+    /// Labeled doxes.
+    pub total: usize,
+}
+
+/// Compute Table 6 over the labeled sample.
+pub fn content_breakdown(labeled: &[LabeledDox]) -> ContentBreakdown {
+    let total = labeled.len();
+    let count = |f: &dyn Fn(&LabeledDox) -> bool| labeled.iter().filter(|l| f(l)).count();
+    let row = |label: &'static str, c: usize| CategoryCount {
+        label,
+        count: c,
+        fraction: if total == 0 { 0.0 } else { c as f64 / total as f64 },
+    };
+    let rows = vec![
+        row("Address (any)", count(&|l| l.truth.fields.address)),
+        row("Phone Number", count(&|l| l.truth.fields.phone)),
+        row("Family Info", count(&|l| l.truth.fields.family)),
+        row("Email", count(&|l| l.truth.fields.email)),
+        row("Address (zip)", count(&|l| l.truth.fields.zip)),
+        row("Date of Birth", count(&|l| l.truth.fields.dob)),
+        row("School", count(&|l| l.truth.fields.school)),
+        row("Usernames", count(&|l| l.truth.fields.usernames)),
+        row("ISP", count(&|l| l.truth.fields.isp)),
+        row("IP Address", count(&|l| l.truth.fields.ip)),
+        row("Passwords", count(&|l| l.truth.fields.passwords)),
+        row("Physical Traits", count(&|l| l.truth.fields.physical)),
+        row("Criminal Records", count(&|l| l.truth.fields.criminal)),
+        row("Social Security #", count(&|l| l.truth.fields.ssn)),
+        row("Credit Card #", count(&|l| l.truth.fields.credit_card)),
+        row("Other Financial Info", count(&|l| l.truth.fields.financial)),
+    ];
+    ContentBreakdown { rows, total }
+}
+
+impl ContentBreakdown {
+    /// Find a row by label.
+    pub fn row(&self, label: &str) -> Option<&CategoryCount> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dox_synth::truth::{DoxTruth, Gender, IncludedFields};
+
+    fn labeled(fields: IncludedFields) -> LabeledDox {
+        LabeledDox {
+            doc_id: 0,
+            period: 1,
+            truth: DoxTruth {
+                persona_id: 0,
+                age: 20,
+                gender: Gender::Male,
+                primary_country: true,
+                fields,
+                osn_handles: vec![],
+                community: None,
+                motivation: None,
+                credits: vec![],
+                duplicate_of: None,
+                exact_duplicate: false,
+                sloppy: false,
+                stub: false,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let sample = vec![
+            labeled(IncludedFields {
+                address: true,
+                zip: true,
+                phone: true,
+                ..IncludedFields::default()
+            }),
+            labeled(IncludedFields {
+                address: true,
+                ..IncludedFields::default()
+            }),
+        ];
+        let b = content_breakdown(&sample);
+        assert_eq!(b.total, 2);
+        assert_eq!(b.row("Address (any)").unwrap().count, 2);
+        assert_eq!(b.row("Address (zip)").unwrap().count, 1);
+        assert!((b.row("Phone Number").unwrap().fraction - 0.5).abs() < 1e-9);
+        assert_eq!(b.row("Passwords").unwrap().count, 0);
+    }
+
+    #[test]
+    fn row_order_matches_paper() {
+        let b = content_breakdown(&[]);
+        assert_eq!(b.rows[0].label, "Address (any)");
+        assert_eq!(b.rows.last().unwrap().label, "Other Financial Info");
+        assert_eq!(b.rows.len(), 16);
+    }
+
+    #[test]
+    fn empty_sample_fractions_zero() {
+        let b = content_breakdown(&[]);
+        assert!(b.rows.iter().all(|r| r.fraction == 0.0 && r.count == 0));
+    }
+}

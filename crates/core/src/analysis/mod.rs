@@ -1,0 +1,27 @@
+//! The paper's analyses — one module per reported table or figure.
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`demographics`] | Table 5 — victim demographics |
+//! | [`content`] | Table 6 — sensitive-information categories |
+//! | [`community`] | Table 7 — victim communities |
+//! | [`motivation`] | Table 8 — stated motivations |
+//! | [`osn_presence`] | Table 9 — networks referenced in doxes |
+//! | [`sources`] | Figure 1 depth — per-source dox density |
+//! | [`status_change`] | Table 10 + §6.2.2 — account status changes |
+//! | [`timeline`] | Figure 3 + §6.3 — 14-day status timelines |
+//! | [`doxnet`] | Figure 2 — doxer cliques |
+//! | [`comments`] | §5.3.2 — cross-account commenter search |
+//! | [`validation`] | §4.1 + Table 3 — IP consistency, deletion survey |
+
+pub mod comments;
+pub mod community;
+pub mod content;
+pub mod demographics;
+pub mod doxnet;
+pub mod motivation;
+pub mod osn_presence;
+pub mod sources;
+pub mod status_change;
+pub mod timeline;
+pub mod validation;

@@ -1,0 +1,139 @@
+//! Per-source dox density (Figure 1 depth).
+//!
+//! Figure 1 shows wildly different volumes per source; dividing the
+//! detected doxes by them shows *where doxing concentrates*: 8ch/baphomet
+//! — a board created for harassment — is orders of magnitude denser than
+//! pastebin's firehose, even though pastebin hosts the most doxes in
+//! absolute terms.
+
+use crate::pipeline::{DetectedDox, PipelineCounters};
+use dox_synth::corpus::Source;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One source's row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SourceDensity {
+    /// Documents collected from the source.
+    pub documents: u64,
+    /// Doxes detected on the source.
+    pub doxes: u64,
+}
+
+impl SourceDensity {
+    /// Doxes per 10,000 documents.
+    pub fn per_10k(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.doxes as f64 / self.documents as f64 * 10_000.0
+        }
+    }
+}
+
+/// Per-source density table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SourceBreakdown {
+    /// Rows keyed by the source's display name.
+    pub rows: BTreeMap<String, SourceDensity>,
+}
+
+impl SourceBreakdown {
+    /// The densest source (by doxes per 10k documents), if any row has
+    /// documents.
+    pub fn densest(&self) -> Option<(&str, f64)> {
+        self.rows
+            .iter()
+            .filter(|(_, d)| d.documents > 0)
+            .map(|(name, d)| (name.as_str(), d.per_10k()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+    }
+}
+
+/// Compute the density table from pipeline state.
+pub fn source_breakdown(
+    counters: &PipelineCounters,
+    detected: &[DetectedDox],
+) -> SourceBreakdown {
+    let mut per_source_dox: BTreeMap<Source, u64> = BTreeMap::new();
+    for d in detected {
+        *per_source_dox.entry(d.source).or_insert(0) += 1;
+    }
+    let mut rows = BTreeMap::new();
+    for source in Source::ALL {
+        let documents = counters
+            .per_source
+            .get(source.name())
+            .copied()
+            .unwrap_or(0);
+        let doxes = per_source_dox.get(&source).copied().unwrap_or(0);
+        rows.insert(source.name().to_string(), SourceDensity { documents, doxes });
+    }
+    SourceBreakdown { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dox_osn::clock::SimTime;
+
+    fn detected(source: Source, n: usize) -> Vec<DetectedDox> {
+        (0..n)
+            .map(|i| DetectedDox {
+                doc_id: i as u64,
+                source,
+                period: 1,
+                posted_at: SimTime::EPOCH,
+                observed_at: SimTime::EPOCH,
+                text: String::new(),
+                extracted: Default::default(),
+                duplicate: None,
+                truth: None,
+            })
+            .collect()
+    }
+
+    fn counters(pairs: &[(Source, u64)]) -> PipelineCounters {
+        let mut c = PipelineCounters::default();
+        for (s, n) in pairs {
+            c.per_source.insert(s.name().to_string(), *n);
+        }
+        c
+    }
+
+    #[test]
+    fn density_math() {
+        let d = SourceDensity {
+            documents: 10_000,
+            doxes: 30,
+        };
+        assert!((d.per_10k() - 30.0).abs() < 1e-9);
+        assert_eq!(
+            SourceDensity {
+                documents: 0,
+                doxes: 0
+            }
+            .per_10k(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn densest_source_found() {
+        let c = counters(&[(Source::Pastebin, 100_000), (Source::Chan8Baphomet, 100)]);
+        let mut det = detected(Source::Pastebin, 50);
+        det.extend(detected(Source::Chan8Baphomet, 6));
+        let b = source_breakdown(&c, &det);
+        let (name, density) = b.densest().unwrap();
+        assert_eq!(name, "8ch/baphomet");
+        assert!((density - 600.0).abs() < 1e-9);
+        assert_eq!(b.rows["pastebin.com"].doxes, 50);
+    }
+
+    #[test]
+    fn all_sources_present_even_with_zero_traffic() {
+        let b = source_breakdown(&PipelineCounters::default(), &[]);
+        assert_eq!(b.rows.len(), Source::ALL.len());
+        assert!(b.densest().is_none());
+    }
+}

@@ -1,0 +1,441 @@
+//! Report rendering: every paper table and figure as ASCII text, plus
+//! machine-readable JSON for EXPERIMENTS.md provenance.
+
+use crate::analysis::status_change::StatusChangeRow;
+use crate::study::ExperimentReport;
+use dox_extract::accuracy::Field;
+use dox_osn::network::Network;
+use std::fmt::Write as _;
+
+/// Render every table and figure in paper order.
+pub fn full_report(r: &ExperimentReport) -> String {
+    let mut out = String::new();
+    for section in [
+        figure1(r),
+        table1(r),
+        table2(r),
+        table3(r),
+        table4(r),
+        table5(r),
+        table6(r),
+        table7(r),
+        table8(r),
+        table9(r),
+        table10(r),
+        figure2(r),
+        figure3(r),
+        validation_ip(r),
+        validation_comments(r),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize the full report as pretty JSON.
+///
+/// # Panics
+/// Panics if serialization fails (it cannot for this type).
+pub fn to_json(r: &ExperimentReport) -> String {
+    serde_json::to_string_pretty(r).expect("ExperimentReport serializes")
+}
+
+fn header(title: &str) -> String {
+    format!("==== {title} ====\n")
+}
+
+fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Figure 1: the pipeline funnel.
+pub fn figure1(r: &ExperimentReport) -> String {
+    let mut s = header("Figure 1 — pipeline funnel");
+    s.push_str("Input documents per source:\n");
+    for (source, n) in &r.pipeline.per_source {
+        let _ = writeln!(s, "  {source:<14} {n}");
+    }
+    let _ = writeln!(s, "Total documents       : {}", r.pipeline.total);
+    let _ = writeln!(s, "Classified as dox     : {}", r.pipeline.classified_dox);
+    let _ = writeln!(
+        s,
+        "Duplicates removed    : {} ({} exact body, {} account set)",
+        r.pipeline.exact_duplicates + r.pipeline.account_set_duplicates,
+        r.pipeline.exact_duplicates,
+        r.pipeline.account_set_duplicates
+    );
+    let _ = writeln!(s, "Unique doxes          : {}", r.pipeline.unique_doxes());
+    s.push_str("Dox density per source (doxes per 10k documents):\n");
+    for (name, d) in &r.sources.rows {
+        if d.documents > 0 {
+            let _ = writeln!(s, "  {name:<14} {:>8.1}", d.per_10k());
+        }
+    }
+    s.push_str("Monitored accounts per network:\n");
+    for (net, n) in &r.monitored_per_network {
+        let _ = writeln!(s, "  {:<10} {n} accounts", net.name());
+    }
+    s
+}
+
+/// Table 1: classifier precision/recall.
+pub fn table1(r: &ExperimentReport) -> String {
+    let mut s = header("Table 1 — dox classifier precision/recall");
+    s.push_str(&r.classifier.report.to_table());
+    let _ = writeln!(
+        s,
+        "(training corpus: {} dox / {} not; split {}/{})",
+        r.classifier.corpus_sizes.0,
+        r.classifier.corpus_sizes.1,
+        r.classifier.split_sizes.0,
+        r.classifier.split_sizes.1
+    );
+    s
+}
+
+/// Table 2: extractor accuracy.
+pub fn table2(r: &ExperimentReport) -> String {
+    let mut s = header("Table 2 — extractor accuracy per field");
+    let _ = writeln!(s, "{:<12} {:>18} {:>10}", "Label", "% Doxes Including", "Accuracy");
+    for field in Field::ALL {
+        if let Some(score) = r.extractor.scores.get(&field) {
+            let _ = writeln!(
+                s,
+                "{:<12} {:>18} {:>10}",
+                field.label(),
+                pct(score.inclusion_rate()),
+                pct(score.accuracy())
+            );
+        }
+    }
+    s
+}
+
+/// Table 3: deletion survey.
+pub fn table3(r: &ExperimentReport) -> String {
+    let mut s = header("Table 3 — pastebin deletion within one month (period 1)");
+    let _ = writeln!(s, "{:<8} {:>10} {:>10} {:>10}", "Type", "# Files", "# Deleted", "% Deleted");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>10} {:>10}",
+        "Dox",
+        r.deletion.dox_total,
+        r.deletion.dox_deleted,
+        pct(r.deletion.dox_rate())
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>10} {:>10}",
+        "Other",
+        r.deletion.other_total,
+        r.deletion.other_deleted,
+        pct(r.deletion.other_rate())
+    );
+    let _ = writeln!(s, "(dox/other deletion ratio: {:.2}x)", r.deletion.ratio());
+    s
+}
+
+/// Table 4: collection statistics.
+pub fn table4(r: &ExperimentReport) -> String {
+    let mut s = header("Table 4 — collection statistics per period");
+    let _ = writeln!(s, "{:<28} {:>10} {:>10}", "", "Period 1", "Period 2");
+    let _ = writeln!(
+        s,
+        "{:<28} {:>10} {:>10}",
+        "Text files recorded", r.pipeline.per_period[0], r.pipeline.per_period[1]
+    );
+    let _ = writeln!(
+        s,
+        "{:<28} {:>10} {:>10}",
+        "Classified as a dox", r.pipeline.dox_per_period[0], r.pipeline.dox_per_period[1]
+    );
+    let _ = writeln!(
+        s,
+        "{:<28} {:>10} {:>10}",
+        "Doxes without duplicates",
+        r.pipeline.unique_in_period(1),
+        r.pipeline.unique_in_period(2)
+    );
+    let _ = writeln!(
+        s,
+        "{:<28} {:>10} {:>10}",
+        "Doxes manually labeled", r.labeled_per_period[0], r.labeled_per_period[1]
+    );
+    s
+}
+
+/// Table 5: demographics.
+pub fn table5(r: &ExperimentReport) -> String {
+    let d = &r.demographics;
+    let mut s = header("Table 5 — victim demographics");
+    let _ = writeln!(s, "Min Age           {}", d.min_age);
+    let _ = writeln!(s, "Max Age           {}", d.max_age);
+    let _ = writeln!(s, "Mean Age          {:.1}", d.mean_age);
+    let _ = writeln!(s, "Gender (Female)   {}", pct(d.female));
+    let _ = writeln!(s, "Gender (Male)     {}", pct(d.male));
+    let _ = writeln!(s, "Gender (Other)    {}", pct(d.other));
+    let _ = writeln!(
+        s,
+        "Located in USA*   {} (*of the {} labeled doxes with an address)",
+        pct(d.primary_country),
+        d.with_address
+    );
+    s
+}
+
+/// Table 6: sensitive-information categories.
+pub fn table6(r: &ExperimentReport) -> String {
+    let mut s = header("Table 6 — sensitive-information categories");
+    let _ = writeln!(s, "{:<22} {:>9} {:>10}", "Category", "# Doxes", "% Doxes");
+    for row in &r.content.rows {
+        let _ = writeln!(s, "{:<22} {:>9} {:>10}", row.label, row.count, pct(row.fraction));
+    }
+    let _ = writeln!(s, "(of {} manually labeled)", r.content.total);
+    s
+}
+
+/// Table 7: victim communities.
+pub fn table7(r: &ExperimentReport) -> String {
+    let c = &r.community;
+    let mut s = header("Table 7 — victim communities");
+    let _ = writeln!(s, "{:<11} {:>8} {:>10}", "Category", "# Doxes", "% Labeled");
+    for (label, n) in [("Hacker", c.hacker), ("Gamer", c.gamer), ("Celebrity", c.celebrity)] {
+        let _ = writeln!(s, "{:<11} {:>8} {:>10}", label, n, pct(c.fraction(n)));
+    }
+    let _ = writeln!(
+        s,
+        "{:<11} {:>8} {:>10}",
+        "Total",
+        c.categorized(),
+        pct(c.fraction(c.categorized()))
+    );
+    s
+}
+
+/// Table 8: motivations.
+pub fn table8(r: &ExperimentReport) -> String {
+    let m = &r.motivation;
+    let mut s = header("Table 8 — stated motivations");
+    let _ = writeln!(s, "{:<13} {:>8} {:>10}", "Motivation", "# Doxes", "% Labeled");
+    for (label, n) in [
+        ("Competitive", m.competitive),
+        ("Revenge", m.revenge),
+        ("Justice", m.justice),
+        ("Political", m.political),
+    ] {
+        let _ = writeln!(s, "{:<13} {:>8} {:>10}", label, n, pct(m.fraction(n)));
+    }
+    let _ = writeln!(
+        s,
+        "{:<13} {:>8} {:>10}",
+        "Total",
+        m.with_motivation(),
+        pct(m.fraction(m.with_motivation()))
+    );
+    s
+}
+
+/// Table 9: networks referenced in doxes.
+pub fn table9(r: &ExperimentReport) -> String {
+    let mut s = header("Table 9 — social networks referenced in dox files");
+    let _ = writeln!(s, "{:<12} {:>8} {:>9}", "Network", "# Doxes", "% Doxes");
+    for net in [
+        Network::Facebook,
+        Network::GooglePlus,
+        Network::Twitter,
+        Network::Instagram,
+        Network::YouTube,
+        Network::Twitch,
+    ] {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8} {:>9}",
+            net.name(),
+            r.osn_presence.count(net),
+            pct(r.osn_presence.fraction(net))
+        );
+    }
+    let _ = writeln!(s, "(of {} classified doxes)", r.osn_presence.total_doxes);
+    s
+}
+
+fn status_row(s: &mut String, label: &str, row: &StatusChangeRow) {
+    let _ = writeln!(
+        s,
+        "{:<32} {:>13} {:>12} {:>12} {:>8}",
+        label,
+        pct(row.frac_more_private()),
+        pct(row.frac_more_public()),
+        pct(row.frac_any_change()),
+        row.total
+    );
+}
+
+/// Table 10: account status changes.
+pub fn table10(r: &ExperimentReport) -> String {
+    let mut s = header("Table 10 — status changes of monitored accounts");
+    let _ = writeln!(
+        s,
+        "{:<32} {:>13} {:>12} {:>12} {:>8}",
+        "Account Condition", "% MorePrivate", "% MorePublic", "% AnyChange", "Total"
+    );
+    status_row(&mut s, "Instagram Default (control)", &r.control_row);
+    status_row(&mut s, "Instagram Default (active only)", &r.control_row_active);
+    for (label, row) in &r.status_changes.rows {
+        status_row(&mut s, label, row);
+    }
+    let (any, private) = r.doxed_vs_control;
+    let _ = writeln!(
+        s,
+        "(§6.2.2: doxed Instagram vs control — any-change {any:.0}x, more-private {private:.0}x)"
+    );
+    s
+}
+
+/// Figure 2: doxer network summary.
+pub fn figure2(r: &ExperimentReport) -> String {
+    let d = &r.doxer_network;
+    let mut s = header("Figure 2 — doxer credit/follow network");
+    let _ = writeln!(s, "Credited doxer aliases      : {}", d.total_doxers);
+    let _ = writeln!(s, "With Twitter handles        : {}", d.with_twitter);
+    let _ = writeln!(s, "In cliques of size >= 4     : {}", d.in_big_cliques);
+    let _ = writeln!(s, "Maximal cliques of size >= 4: {}", d.big_clique_count);
+    let _ = writeln!(s, "Largest clique              : {}", d.max_clique);
+    s
+}
+
+/// Figure 3: status timelines as ASCII stacked bars.
+pub fn figure3(r: &ExperimentReport) -> String {
+    let mut s = header("Figure 3 — 14-day status timelines (changed accounts)");
+    for panel in &r.timelines {
+        let era = match panel.era {
+            dox_osn::filters::FilterEra::PreFilter => "pre-filter",
+            dox_osn::filters::FilterEra::PostFilter => "post-filter",
+        };
+        let _ = writeln!(
+            s,
+            "{} {} — {} of {} accounts changed within 14 days ({})",
+            panel.network.name(),
+            era,
+            panel.changed_accounts,
+            panel.total_accounts,
+            pct(panel.changed_fraction())
+        );
+        let _ = writeln!(s, "  day : public/private/inactive");
+        for (day, (pub_, priv_, inact)) in panel.counts.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  {day:>3} : {} {}",
+                format_args!("{pub_:>3}P {priv_:>3}p {inact:>3}x"),
+                bar(*pub_, *priv_, *inact)
+            );
+        }
+    }
+    let t = &r.reaction_timing;
+    let _ = writeln!(
+        s,
+        "§6.3 reaction timing: {} more-private changes; {} within 24h, {} within 7d",
+        t.total,
+        pct(t.frac_within_day()),
+        pct(t.frac_within_week())
+    );
+    s
+}
+
+fn bar(public: usize, private: usize, inactive: usize) -> String {
+    let total = (public + private + inactive).max(1);
+    let width = 30usize;
+    let p = public * width / total;
+    let q = private * width / total;
+    let x = width.saturating_sub(p + q);
+    format!("[{}{}{}]", "#".repeat(p), "=".repeat(q), ".".repeat(x))
+}
+
+/// §4.1 IP validation.
+pub fn validation_ip(r: &ExperimentReport) -> String {
+    let v = &r.ip_validation;
+    let mut s = header("§4.1 — validation by IP address");
+    let _ = writeln!(s, "Doxes sampled with an IP      : {}", v.sampled);
+    let _ = writeln!(s, "With both IP and postal + zip : {}", v.with_both);
+    let _ = writeln!(
+        s,
+        "Close (same state)            : {} (of which exact: {})",
+        v.summary.close_or_exact(),
+        v.summary.exact
+    );
+    let _ = writeln!(s, "Adjacent state                : {}", v.summary.adjacent);
+    let _ = writeln!(s, "Far / unresolvable            : {}", v.summary.far);
+    s
+}
+
+/// §5.3.2 comment analysis.
+pub fn validation_comments(r: &ExperimentReport) -> String {
+    let c = &r.comments;
+    let mut s = header("§5.3.2 — comments on victims' accounts");
+    let _ = writeln!(s, "Comments recorded        : {}", c.total_comments);
+    let _ = writeln!(s, "Distinct commenters      : {}", c.distinct_commenters);
+    let _ = writeln!(s, "Cross-account commenters : {}", c.cross_account_commenters);
+    let _ = writeln!(s, "Accounts fetched         : {}", c.accounts_fetched);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{Study, StudyConfig};
+
+    fn report() -> &'static ExperimentReport {
+        use std::sync::OnceLock;
+        static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
+        REPORT.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+    }
+
+    #[test]
+    fn full_report_contains_every_section() {
+        let text = full_report(report());
+        for needle in [
+            "Figure 1",
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Table 8",
+            "Table 9",
+            "Table 10",
+            "Figure 2",
+            "Figure 3",
+            "§4.1",
+            "§5.3.2",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_valid() {
+        let json = to_json(report());
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(value.get("pipeline").is_some());
+        assert!(value.get("doxer_network").is_some());
+    }
+
+    #[test]
+    fn table_rows_render_numbers() {
+        let r = report();
+        let t4 = table4(r);
+        assert!(t4.contains(&r.pipeline.per_period[0].to_string()));
+        let t9 = table9(r);
+        assert!(t9.contains("Facebook"));
+    }
+
+    #[test]
+    fn bar_is_width_bounded() {
+        assert_eq!(bar(0, 0, 0).len(), 32);
+        assert_eq!(bar(10, 10, 10).len(), 32);
+        assert!(bar(30, 0, 0).contains("##"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # dox-geo
+//!
+//! A synthetic geography substrate for the "validation by IP address" study
+//! (paper §4.1).
+//!
+//! The paper samples dox files containing both an IP address and a postal
+//! address, geolocates the IP, and classifies the pair as matching exactly,
+//! being in the same state/region ("close"), in adjacent regions
+//! ("ambiguous" in the paper's wording), or far apart. Reproducing that
+//! requires a geolocation source; since shipping a real MaxMind-style
+//! database is neither possible nor necessary, this crate builds a fully
+//! synthetic planet:
+//!
+//! - [`model`] — countries, states and cities procedurally placed on a
+//!   latitude/longitude grid, with deterministic names and zip codes.
+//! - [`coords`] — coordinates and haversine distance.
+//! - [`ip`] — IPv4 and CIDR utilities.
+//! - [`alloc`] — ASN and CIDR allocation: each autonomous system is homed
+//!   in a state and owns address blocks.
+//! - [`geoip`] — a longest-prefix-match geolocation database over the
+//!   allocations.
+//! - [`postal`] — postal address representation and geocoding.
+//! - [`consistency`] — the §4.1 comparison: classify an (IP, postal) pair
+//!   as exact / close / adjacent / far.
+//!
+//! The synthetic world is a pure function of its seed: generating it twice
+//! yields identical names, coordinates and allocations.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod consistency;
+pub mod coords;
+pub mod geoip;
+pub mod ip;
+pub mod model;
+pub mod postal;
+
+pub use consistency::{classify_pair, ConsistencyClass};
+pub use coords::LatLon;
+pub use geoip::GeoIpDb;
+pub use model::{World, WorldConfig};
+pub use postal::PostalAddress;

@@ -1,0 +1,33 @@
+//! # dox-ml
+//!
+//! Machine-learning substrate for the dox classifier (paper §3.1.2).
+//!
+//! The paper trains a stochastic-gradient-descent linear model
+//! (scikit-learn 0.17.1 `SGDClassifier`, 20 training passes, all other
+//! parameters default) over TF-IDF vectors, and evaluates it with a
+//! two-thirds / one-third split, reporting per-class precision, recall, F1
+//! and support (paper Table 1). This crate implements:
+//!
+//! - [`sgd`] — a binary `SGDClassifier` with hinge / log / modified-huber
+//!   losses, L2/L1/none penalties and sklearn's `optimal` learning-rate
+//!   schedule.
+//! - [`metrics`] — confusion matrices, per-class precision/recall/F1 and the
+//!   classification-report layout used by Table 1.
+//! - [`split`] — deterministic shuffled and stratified train/test splits and
+//!   k-fold cross-validation.
+//! - [`baseline`] — the comparison points: a keyword-rule dox detector and a
+//!   multinomial naive-Bayes classifier.
+//! - [`eval`] — end-to-end "vectorize, train, evaluate" helpers shared by
+//!   the pipeline, benchmarks and tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod eval;
+pub mod metrics;
+pub mod sgd;
+pub mod split;
+
+pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
+pub use sgd::{Loss, Penalty, SgdClassifier, SgdConfig};

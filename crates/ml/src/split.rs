@@ -1,0 +1,196 @@
+//! Deterministic dataset splitting.
+//!
+//! The paper evaluates the classifier with "a randomly selected two-thirds
+//! training set, one-third evaluation set" (§3.1.2). [`train_test_split`]
+//! reproduces that protocol; [`stratified_split`] and [`kfold`] support the
+//! extended evaluation in the benchmarks.
+
+use rand::RngExt;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Index sets produced by a split: `(train, test)`.
+pub type SplitIndices = (Vec<usize>, Vec<usize>);
+
+/// Shuffle `0..n` and split at `train_fraction` (clamped to `[0,1]`).
+///
+/// The paper's protocol is `train_test_split(n, 2.0 / 3.0, seed)`.
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> SplitIndices {
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, seed);
+    let cut = ((n as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+    let cut = cut.min(n);
+    let test = order.split_off(cut);
+    (order, test)
+}
+
+/// Split preserving the label ratio in both halves.
+///
+/// Each class's indices are shuffled and split at `train_fraction`
+/// independently, so a rare positive class (749 doxes vs 4,220 negatives in
+/// the paper's training data) is represented proportionally in both sets.
+pub fn stratified_split(labels: &[bool], train_fraction: f64, seed: u64) -> SplitIndices {
+    let pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (salt, mut class) in [(1u64, pos), (2u64, neg)] {
+        shuffle(&mut class, seed.wrapping_add(salt));
+        let cut = ((class.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let cut = cut.min(class.len());
+        test.extend_from_slice(&class[cut..]);
+        train.extend_from_slice(&class[..cut]);
+    }
+    // Keep downstream iteration order independent of class grouping.
+    shuffle(&mut train, seed.wrapping_add(3));
+    shuffle(&mut test, seed.wrapping_add(4));
+    (train, test)
+}
+
+/// K-fold cross-validation index sets: `k` pairs of `(train, test)`.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<SplitIndices> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(k <= n, "k must not exceed the number of samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, seed);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(order[start..start + len].to_vec());
+        start += len;
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Deterministic Fisher–Yates shuffle keyed by `seed`.
+pub fn shuffle(order: &mut [usize], seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+/// Select the elements of `items` at `indices` (cloning).
+pub fn take<T: Clone>(items: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| items[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_is_a_partition() {
+        let (train, test) = train_test_split(100, 2.0 / 3.0, 7);
+        assert_eq!(train.len() + test.len(), 100);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 100);
+        assert_eq!(train.len(), 67); // round(100 * 2/3)
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(train_test_split(50, 0.5, 42), train_test_split(50, 0.5, 42));
+        assert_ne!(
+            train_test_split(50, 0.5, 42).0,
+            train_test_split(50, 0.5, 43).0
+        );
+    }
+
+    #[test]
+    fn split_edge_fractions() {
+        let (train, test) = train_test_split(10, 0.0, 1);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+        let (train, test) = train_test_split(10, 1.0, 1);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+        let (train, test) = train_test_split(10, 7.5, 1); // clamped
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn split_empty_dataset() {
+        let (train, test) = train_test_split(0, 0.5, 1);
+        assert!(train.is_empty() && test.is_empty());
+    }
+
+    #[test]
+    fn stratified_preserves_ratio() {
+        // 100 pos, 900 neg
+        let labels: Vec<bool> = (0..1000).map(|i| i < 100).collect();
+        let (train, test) = stratified_split(&labels, 2.0 / 3.0, 5);
+        let pos_train = train.iter().filter(|&&i| labels[i]).count();
+        let pos_test = test.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(pos_train, 67);
+        assert_eq!(pos_test, 33);
+        assert_eq!(train.len() + test.len(), 1000);
+    }
+
+    #[test]
+    fn stratified_is_partition() {
+        let labels: Vec<bool> = (0..97).map(|i| i % 7 == 0).collect();
+        let (train, test) = stratified_split(&labels, 0.6, 11);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 97);
+    }
+
+    #[test]
+    fn kfold_covers_each_sample_once_as_test() {
+        let folds = kfold(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 23];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_balanced_sizes() {
+        let folds = kfold(10, 3, 1);
+        let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn kfold_rejects_k1() {
+        kfold(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not exceed")]
+    fn kfold_rejects_k_gt_n() {
+        kfold(3, 5, 0);
+    }
+
+    #[test]
+    fn take_selects() {
+        let items = vec!["a", "b", "c"];
+        assert_eq!(take(&items, &[2, 0]), vec!["c", "a"]);
+    }
+}

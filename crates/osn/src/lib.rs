@@ -1,0 +1,48 @@
+//! # dox-osn
+//!
+//! A simulated online-social-network substrate for the doxing measurement
+//! reproduction.
+//!
+//! The paper (§3.1.5, §6) repeatedly probes the OSN accounts referenced in
+//! dox files — recording whether each account is public, private or
+//! inactive, plus the text of public comments — and compares their
+//! behaviour against a 13,392-account random Instagram control sample.
+//! Live accounts obviously cannot be re-measured, so this crate implements
+//! platforms whose *observable surface is identical to the paper's vantage
+//! point* (status probes and public-content fetches, nothing else) and
+//! whose behavioural model embeds the phenomena the paper measured:
+//!
+//! - [`clock`] — simulation time (minutes since study start).
+//! - [`network`] — the measured networks and their properties.
+//! - [`account`] — accounts, privacy status and status timelines.
+//! - [`filters`] — abuse-filter deployment eras (Facebook & Instagram
+//!   deployed filters between the two collection periods).
+//! - [`behavior`] — the victim-reaction model: per-network, per-era
+//!   probabilities of going private / closing / reopening after a dox, and
+//!   the reaction-delay distribution (35.8 % react within 24 h, 90.6 %
+//!   within 7 days); plus baseline churn for the control population.
+//! - [`comments`] — comment streams on public accounts (9,792 commenters,
+//!   no cross-account commenters — §5.3.2).
+//! - [`platform`] — the account registries, including Instagram's
+//!   monotonically increasing user ids that make random control sampling
+//!   possible.
+//! - [`scraper`] — the measurement client: status probes, public-content
+//!   fetches, request accounting and a rate limiter.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod account;
+pub mod behavior;
+pub mod clock;
+pub mod comments;
+pub mod filters;
+pub mod network;
+pub mod platform;
+pub mod scraper;
+
+pub use account::{Account, AccountId, AccountStatus};
+pub use clock::SimTime;
+pub use network::Network;
+pub use platform::SimOsnWorld;
+pub use scraper::Scraper;

@@ -1,0 +1,106 @@
+//! The five sites together.
+//!
+//! [`SiteHub`] ingests the synthetic document stream, routing each document
+//! to its service: pastebin records paste metadata (with precomputed
+//! deletion times from the Table 3 model), chan boards assign posts to
+//! threads. The hub is the stateful "internet" the collection client
+//! scrapes.
+
+use crate::chan::SimChanBoard;
+use crate::pastebin::SimPastebin;
+use dox_synth::corpus::{Source, SynthDoc};
+
+/// The five text-sharing sites.
+#[derive(Debug)]
+pub struct SiteHub {
+    pastebin: SimPastebin,
+    chan4_b: SimChanBoard,
+    chan4_pol: SimChanBoard,
+    chan8_pol: SimChanBoard,
+    chan8_baphomet: SimChanBoard,
+}
+
+impl SiteHub {
+    /// Create the sites.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            pastebin: SimPastebin::new(),
+            chan4_b: SimChanBoard::new("b", 150, seed ^ 1),
+            chan4_pol: SimChanBoard::new("pol", 200, seed ^ 2),
+            chan8_pol: SimChanBoard::new("pol8", 80, seed ^ 3),
+            chan8_baphomet: SimChanBoard::new("baphomet", 40, seed ^ 4),
+        }
+    }
+
+    /// Ingest one document from the synthetic stream.
+    pub fn ingest(&mut self, doc: &SynthDoc) {
+        match doc.source {
+            Source::Pastebin => {
+                let deleted_at = doc.deleted_after.map(|d| doc.posted_at + d);
+                self.pastebin.post(doc.id, doc.posted_at, deleted_at);
+            }
+            Source::Chan4B => {
+                self.chan4_b.post(doc.id, doc.posted_at);
+            }
+            Source::Chan4Pol => {
+                self.chan4_pol.post(doc.id, doc.posted_at);
+            }
+            Source::Chan8Pol => {
+                self.chan8_pol.post(doc.id, doc.posted_at);
+            }
+            Source::Chan8Baphomet => {
+                self.chan8_baphomet.post(doc.id, doc.posted_at);
+            }
+        }
+    }
+
+    /// The pastebin service (deletion surveys).
+    pub fn pastebin(&self) -> &SimPastebin {
+        &self.pastebin
+    }
+
+    /// A chan board by source; `None` for [`Source::Pastebin`].
+    pub fn board(&self, source: Source) -> Option<&SimChanBoard> {
+        match source {
+            Source::Pastebin => None,
+            Source::Chan4B => Some(&self.chan4_b),
+            Source::Chan4Pol => Some(&self.chan4_pol),
+            Source::Chan8Pol => Some(&self.chan8_pol),
+            Source::Chan8Baphomet => Some(&self.chan8_baphomet),
+        }
+    }
+
+    /// Total documents ingested across all sites.
+    pub fn total_ingested(&self) -> usize {
+        self.pastebin.len()
+            + self.chan4_b.posts().len()
+            + self.chan4_pol.posts().len()
+            + self.chan8_pol.posts().len()
+            + self.chan8_baphomet.posts().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dox_geo::alloc::{AllocConfig, Allocation};
+    use dox_geo::model::{World, WorldConfig};
+    use dox_synth::config::SynthConfig;
+    use dox_synth::corpus::CorpusGenerator;
+
+    #[test]
+    fn ingests_full_test_stream() {
+        let world = World::generate(&WorldConfig::default(), 1);
+        let alloc = Allocation::generate(&world, &AllocConfig::default(), 1);
+        let config = SynthConfig::test_scale();
+        let expected = config.total_documents() as usize;
+        let mut gen = CorpusGenerator::new(&world, &alloc, config);
+        let mut hub = SiteHub::new(1);
+        gen.generate_period(1, &mut |d| hub.ingest(&d));
+        gen.generate_period(2, &mut |d| hub.ingest(&d));
+        assert_eq!(hub.total_ingested(), expected);
+        assert!(hub.pastebin().len() > 0);
+        assert!(hub.board(Source::Chan4B).unwrap().posts().len() > 0);
+        assert!(hub.board(Source::Pastebin).is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # dox-sites
+//!
+//! Simulated text-sharing sites — the collection substrate (paper §3.1.1).
+//!
+//! The original study scraped every paste posted to pastebin.com (via the
+//! paid scraping API) and every posting on 4chan `/b/`,`/pol/` and 8ch
+//! `/pol/`,`/baphomet/`. This crate stands in for those services:
+//!
+//! - [`hub`] — [`hub::SiteHub`]: the five sites, ingesting the synthetic
+//!   document stream and recording per-document metadata (source, posting
+//!   time, deletion time) for the accounting and validation analyses.
+//! - [`pastebin`] — the pastebin-like service: per-paste availability
+//!   checks (drives the Table 3 deletion survey) and a paged scrape API.
+//! - [`chan`] — chan-board structure: posts grouped into threads, board
+//!   catalogs (the measurement pipeline only needs the post bodies, but
+//!   the thread structure keeps ingestion realistic).
+//! - [`collect`] — the collection client: merges the sites' feeds into one
+//!   chronological stream of [`collect::CollectedDoc`]s with per-source
+//!   counters (Figure 1's input volumes).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chan;
+pub mod collect;
+pub mod hub;
+pub mod pastebin;
+
+pub use collect::{CollectedDoc, Collector};
+pub use hub::SiteHub;

@@ -1,0 +1,828 @@
+//! Dox-file rendering.
+//!
+//! Produces the text of a dox posting from a persona plus a render plan:
+//! which sensitive fields to include (Table 6 rates), which OSN accounts to
+//! reveal (Table 9 / Table 2 rates), an optional motivation statement
+//! (Table 8), an optional credits line (Figure 2), and one of several
+//! format templates — labeled field lists, ASCII-art-headed drops, and
+//! "sloppy" narrative doxes that stress the classifier.
+//!
+//! Near-duplicate re-rendering (timestamps, insignia tweaks, "update"
+//! sections — §3.1.4) lives here too, so the dedup stage has realistic
+//! adversarial input.
+
+use crate::config::SynthConfig;
+use crate::doxers::DoxerPopulation;
+use crate::handles;
+use crate::persona::Persona;
+use crate::truth::{Community, DoxTruth, Gender, IncludedFields, Motivation};
+use dox_osn::network::Network;
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+
+/// Everything decided before rendering: the plan is sampled once, then the
+/// template turns it into text. Keeping plan and render separate lets the
+/// duplicate model re-render the *same plan* with cosmetic variation.
+#[derive(Debug, Clone)]
+pub struct RenderPlan {
+    /// Field categories to include.
+    pub fields: IncludedFields,
+    /// OSN accounts to reveal: `(network, handle)`.
+    pub osn: Vec<(Network, String)>,
+    /// Motivation to state, if any.
+    pub motivation: Option<Motivation>,
+    /// Credited doxer aliases (with optional Twitter handles rendered).
+    pub credits: Vec<String>,
+    /// Whether to use the sloppy narrative template.
+    pub sloppy: bool,
+    /// A "stub" dox: the content lives in a linked screencap/mirror, the
+    /// text itself names only the victim's alias. Text classifiers cannot
+    /// catch these (the paper's acknowledged §7.3 blind spot) — they are
+    /// the recall ceiling.
+    pub stub: bool,
+    /// Template selector (stable across re-renders of the same plan).
+    pub template: u8,
+    /// Expose community accounts (Table 7) when the persona has them.
+    pub show_community: bool,
+}
+
+/// Sample a render plan for `persona`.
+///
+/// `proof_of_work` selects the richer Table 2 OSN rates used by
+/// dox-for-hire archives; the wild corpus uses Table 9 rates.
+pub fn sample_plan(
+    persona: &Persona,
+    config: &SynthConfig,
+    proof_of_work: bool,
+    doxers: &DoxerPopulation,
+    rng: &mut ChaCha8Rng,
+) -> RenderPlan {
+    let f = &config.fields;
+    let mut roll = |p: f64| rng.random_range(0.0..1.0) < p;
+    let address = roll(f.address);
+    let fields = IncludedFields {
+        address,
+        zip: address && roll(f.zip_given_address),
+        phone: roll(f.phone),
+        family: roll(f.family),
+        email: roll(f.email),
+        dob: roll(f.dob),
+        age: roll(f.age),
+        real_name: roll(f.real_name),
+        school: roll(f.school),
+        usernames: roll(f.usernames),
+        isp: roll(f.isp),
+        ip: roll(f.ip),
+        passwords: roll(f.passwords),
+        physical: roll(f.physical),
+        criminal: roll(f.criminal),
+        ssn: roll(f.ssn),
+        credit_card: roll(f.credit_card),
+        financial: roll(f.financial),
+    };
+
+    let rates = if proof_of_work {
+        &config.osn_pow
+    } else {
+        &config.osn_wild
+    };
+    let mut osn = Vec::new();
+    let mut maybe = |network: Network, p: f64, rng: &mut ChaCha8Rng| {
+        if rng.random_range(0.0..1.0) < p {
+            if let Some(h) = persona.handle_on(network) {
+                osn.push((network, h.to_string()));
+            }
+        }
+    };
+    maybe(Network::Facebook, rates.facebook, rng);
+    maybe(Network::GooglePlus, rates.google_plus, rng);
+    maybe(Network::Twitter, rates.twitter, rng);
+    maybe(Network::Instagram, rates.instagram, rng);
+    maybe(Network::YouTube, rates.youtube, rng);
+    maybe(Network::Twitch, rates.twitch, rng);
+    maybe(Network::Skype, rates.skype, rng);
+
+    let m = &config.motivations;
+    let u: f64 = rng.random_range(0.0..1.0);
+    let motivation = if u < m.justice {
+        Some(Motivation::Justice)
+    } else if u < m.justice + m.revenge {
+        Some(Motivation::Revenge)
+    } else if u < m.justice + m.revenge + m.competitive {
+        Some(Motivation::Competitive)
+    } else if u < m.justice + m.revenge + m.competitive + m.political {
+        Some(Motivation::Political)
+    } else {
+        None
+    };
+
+    let credits = if rng.random_range(0.0..1.0) < config.credit_rate {
+        let (_, ids) = doxers.sample_credits(rng);
+        ids.iter()
+            .map(|&id| {
+                let d = doxers.get(id);
+                match (&d.twitter, rng.random_range(0..3u8)) {
+                    (Some(tw), 0) => tw.clone(),
+                    (Some(tw), 1) => format!("{} ({})", d.alias, tw),
+                    _ => d.alias.clone(),
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let sloppy = rng.random_range(0.0..1.0) < config.sloppy_dox_rate;
+    // Stubs only occur in the wild (a dox-for-hire proof-of-work archive
+    // is by definition the full file). A stub reveals only an alias plus
+    // at most one account, so the plan is overridden accordingly and the
+    // ground truth stays faithful to the rendered text.
+    let stub = !proof_of_work && rng.random_range(0.0..1.0) < 0.10;
+    let (fields, osn) = if stub {
+        let mut f = IncludedFields::default();
+        f.usernames = true;
+        let mut o = osn;
+        o.truncate(1);
+        (f, o)
+    } else {
+        (fields, osn)
+    };
+    // Expose community accounts at a rate that lands Table 7's shares
+    // given persona-level membership rates.
+    let show_community = match persona.community {
+        Some(Community::Gamer) => rng.random_range(0.0..1.0) < 0.114 / 0.14,
+        Some(Community::Hacker) => rng.random_range(0.0..1.0) < 0.037 / 0.055,
+        Some(Community::Celebrity) => rng.random_range(0.0..1.0) < 0.011 / 0.014,
+        None => false,
+    };
+
+    RenderPlan {
+        fields,
+        osn,
+        motivation,
+        credits,
+        sloppy,
+        stub,
+        template: rng.random_range(0..3u8),
+        show_community,
+    }
+}
+
+/// Options for re-rendering a plan as a near-duplicate (§3.1.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Variation {
+    /// Prepend a "posted at" timestamp line.
+    pub timestamp: Option<u64>,
+    /// Use the alternate ASCII-art insignia.
+    pub alt_insignia: bool,
+    /// Append an "UPDATE" section describing the victim's reaction.
+    pub update_section: bool,
+}
+
+/// Render the dox text for `persona` under `plan`.
+pub fn render(
+    persona: &Persona,
+    plan: &RenderPlan,
+    world: &dox_geo::model::World,
+    variation: Variation,
+    rng: &mut ChaCha8Rng,
+) -> String {
+    let mut out = String::new();
+    if let Some(ts) = variation.timestamp {
+        out.push_str(&format!("[posted {}]\n", format_ts(ts)));
+    }
+    if plan.stub {
+        render_stub(&mut out, persona, plan, rng);
+    } else if plan.sloppy {
+        // Half of the weakly structured doxes are narrative, half are
+        // thread "fragments" — the subtlest form (§7.3).
+        if plan.template % 2 == 0 {
+            render_sloppy(&mut out, persona, plan, world, rng);
+        } else {
+            render_fragment(&mut out, persona, plan, rng);
+        }
+    } else {
+        match plan.template {
+            0 => render_labeled(&mut out, persona, plan, world, variation, rng, false),
+            1 => render_labeled(&mut out, persona, plan, world, variation, rng, true),
+            _ => render_compact(&mut out, persona, plan, world, rng),
+        }
+    }
+    if let Some(motivation) = plan.motivation {
+        out.push('\n');
+        out.push_str(&motivation_text(motivation, persona, rng));
+        out.push('\n');
+    }
+    if !plan.credits.is_empty() {
+        out.push('\n');
+        out.push_str(&credit_line(&plan.credits, rng));
+        out.push('\n');
+    }
+    if variation.update_section {
+        out.push_str("\nUPDATE: target went private on everything lol. stay tuned.\n");
+    }
+    out
+}
+
+const INSIGNIA_A: &str = r"
+  ____   _____  __ __
+ |    \ |     ||  |  |
+ |  |  ||  |  ||_   _|
+ |____/ |_____||__|__|   D R O P
+";
+
+const INSIGNIA_B: &str = r"
+ <<<<<<<<<< DOX DROP >>>>>>>>>>
+ ==============================
+";
+
+fn render_labeled(
+    out: &mut String,
+    persona: &Persona,
+    plan: &RenderPlan,
+    world: &dox_geo::model::World,
+    variation: Variation,
+    rng: &mut ChaCha8Rng,
+    with_insignia: bool,
+) {
+    if with_insignia {
+        out.push_str(if variation.alt_insignia {
+            INSIGNIA_B
+        } else {
+            INSIGNIA_A
+        });
+        out.push('\n');
+    }
+    let f = &plan.fields;
+    if f.real_name {
+        out.push_str(&format!("Name: {}\n", persona.full_name()));
+    } else {
+        out.push_str(&format!("Alias: {}\n", persona.usernames[0]));
+    }
+    if f.age {
+        out.push_str(&format!("Age: {}\n", persona.age));
+    }
+    if f.dob {
+        let (y, m, d) = persona.dob;
+        out.push_str(&format!("DOB: {m:02}/{d:02}/{y}\n"));
+    }
+    match persona.gender {
+        Gender::Male => out.push_str("Gender: M\n"),
+        Gender::Female => out.push_str("Gender: F\n"),
+        Gender::Other => out.push_str("Gender: other\n"),
+    }
+    if f.address {
+        let addr = if f.zip {
+            persona.address.format(world)
+        } else {
+            // Address without zip-level precision: drop the zip.
+            let full = persona.address.format(world);
+            full.rsplit_once(' ').map(|(a, _)| a.to_string()).unwrap_or(full)
+        };
+        out.push_str(&format!("Address: {addr}\n"));
+    }
+    if f.phone {
+        out.push_str(&format!("Phone: {}\n", persona.phone));
+    }
+    if f.email {
+        out.push_str(&format!("Email: {}\n", persona.email));
+    }
+    if f.ip {
+        out.push_str(&format!("IP: {}\n", persona.ip));
+    }
+    if f.isp {
+        out.push_str(&format!("ISP: {}\n", persona.isp_name));
+    }
+    if f.school {
+        out.push_str(&format!("School: {}\n", persona.school));
+    }
+    if f.passwords {
+        out.push_str(&format!("Password: {}\n", persona.password));
+    }
+    if f.ssn {
+        out.push_str(&format!("SSN: {}\n", persona.ssn));
+    }
+    if f.credit_card {
+        out.push_str(&format!("CC: {}\n", persona.credit_card));
+    }
+    if f.financial {
+        out.push_str(&format!("Financial: {}\n", persona.financial));
+    }
+    if f.physical {
+        out.push_str(&format!("Description: {}\n", persona.physical));
+    }
+    if f.criminal {
+        out.push_str(&format!("Criminal record: {}\n", persona.criminal));
+    }
+    if f.family {
+        out.push_str("Family:\n");
+        for fam in &persona.family {
+            out.push_str(&format!("  {}: {}\n", fam.relation, fam.name));
+        }
+    }
+    if f.usernames {
+        out.push_str(&format!("Known aliases: {}\n", persona.usernames.join(", ")));
+    }
+    render_osn_block(out, plan, rng);
+    if plan.show_community {
+        for (site, handle) in &persona.community_accounts {
+            out.push_str(&format!("{site}: {handle}\n"));
+        }
+    }
+}
+
+fn render_compact(
+    out: &mut String,
+    persona: &Persona,
+    plan: &RenderPlan,
+    world: &dox_geo::model::World,
+    rng: &mut ChaCha8Rng,
+) {
+    out.push_str("=== dox ===\n");
+    let f = &plan.fields;
+    if f.real_name {
+        out.push_str(&format!("name; {}\n", persona.full_name().to_lowercase()));
+    }
+    if f.age {
+        out.push_str(&format!("age; {}\n", persona.age));
+    }
+    if f.address {
+        out.push_str(&format!("addy; {}\n", persona.address.format(world)));
+    }
+    if f.phone {
+        out.push_str(&format!("phone; {}\n", persona.phone));
+    }
+    if f.email {
+        out.push_str(&format!("email; {}\n", persona.email));
+    }
+    if f.ip {
+        out.push_str(&format!("ip; {}\n", persona.ip));
+    }
+    if f.family {
+        let fam: Vec<String> = persona
+            .family
+            .iter()
+            .map(|m| format!("{} ({})", m.name, m.relation))
+            .collect();
+        out.push_str(&format!("family; {}\n", fam.join(" - ")));
+    }
+    render_osn_block(out, plan, rng);
+    if plan.show_community {
+        for (site, handle) in &persona.community_accounts {
+            out.push_str(&format!("{site}; {handle}\n"));
+        }
+    }
+}
+
+fn render_sloppy(
+    out: &mut String,
+    persona: &Persona,
+    plan: &RenderPlan,
+    world: &dox_geo::model::World,
+    rng: &mut ChaCha8Rng,
+) {
+    // Narrative style with minimal labels and no stable signature
+    // vocabulary — the "subtle doxes" the paper's §7.3 wants future work
+    // to catch. These drive the classifier's false negatives (Table 1
+    // recall 0.89) and the extractor's misses.
+    let f = &plan.fields;
+    let openers = [
+        "remember that guy from the thread last week? found them.",
+        "took about twenty minutes.",
+        "someone asked for info on this one, here you go.",
+        "turns out anonymity is hard.",
+        "posting this before the thread dies.",
+    ];
+    out.push_str(openers[rng.random_range(0..openers.len())]);
+    out.push(' ');
+    if f.real_name {
+        let forms = [
+            format!("goes by {} irl. ", persona.full_name()),
+            format!("real one is {}. ", persona.full_name()),
+            format!("{} if you were wondering. ", persona.full_name()),
+        ];
+        out.push_str(&forms[rng.random_range(0..forms.len())]);
+    }
+    if f.age && rng.random_range(0.0..1.0) < 0.7 {
+        out.push_str(&format!("{} years old. ", persona.age));
+    }
+    if f.address && rng.random_range(0.0..1.0) < 0.8 {
+        out.push_str(&format!("lives around {}. ", persona.address.format(world)));
+    }
+    if f.phone && rng.random_range(0.0..1.0) < 0.6 {
+        out.push_str(&format!("reachable at {}. ", persona.phone));
+    }
+    if f.ip && rng.random_range(0.0..1.0) < 0.6 {
+        out.push_str(&format!("posts from {}", persona.ip));
+        if f.isp {
+            out.push_str(&format!(" ({})", persona.isp_name));
+        }
+        out.push_str(". ");
+    }
+    if f.email {
+        out.push_str(&format!("inbox is {} ", persona.email));
+    }
+    for (network, handle) in &plan.osn {
+        out.push_str(&format!(
+            "{} {} ",
+            network.label_aliases()[rng.random_range(0..network.label_aliases().len())],
+            handles::render_reference(*network, handle, rng)
+        ));
+    }
+    out.push('\n');
+}
+
+/// The subtlest dox form: a couple of thread-chatter lines plus one or two
+/// pieces of actual information. Nearly indistinguishable from the
+/// dox-discussion hard negative at the bag-of-words level — by design,
+/// this is where the classifier's errors live.
+fn render_fragment(
+    out: &mut String,
+    persona: &Persona,
+    plan: &RenderPlan,
+    rng: &mut ChaCha8Rng,
+) {
+    let chatter = crate::names::THREAD_CHATTER;
+    for _ in 0..rng.random_range(1..3usize) {
+        out.push_str(chatter[rng.random_range(0..chatter.len())]);
+        out.push('\n');
+    }
+    if plan.fields.real_name && rng.random_range(0.0..1.0) < 0.85 {
+        out.push_str(&format!("first name {}", persona.first_name.to_lowercase()));
+        if rng.random_range(0.0..1.0) < 0.6 {
+            out.push_str(&format!(" last name {}", persona.last_name.to_lowercase()));
+        }
+        out.push('\n');
+    }
+    // Half the fragments name accounts with a network keyword; the other
+    // half just paste the bare handle ("goes by xX_name_Xx") — the
+    // keyword-free form is what the classifier misses (Table 1's false
+    // negatives, the paper's §7.3 "more subtle instances of doxing").
+    let with_alias = rng.random_range(0.0..1.0) < 0.5;
+    for (network, handle) in plan.osn.iter().take(2) {
+        if with_alias {
+            out.push_str(&format!(
+                "{} is {}\n",
+                network.label_aliases()[rng.random_range(0..network.label_aliases().len())],
+                handle
+            ));
+        } else {
+            out.push_str(&format!("goes by {handle} most places\n"));
+        }
+    }
+    if plan.fields.phone && rng.random_range(0.0..1.0) < 0.4 {
+        out.push_str(&format!("number ends {}\n", &persona.phone[persona.phone.len() - 4..]));
+    }
+}
+
+/// A screencap-mirror stub: the dox content is behind a link; the text
+/// names only the victim's alias (and at most one account). Uses the same
+/// mirror/screencap vocabulary as benign link-sharing chat.
+fn render_stub(out: &mut String, persona: &Persona, plan: &RenderPlan, rng: &mut ChaCha8Rng) {
+    out.push_str(&format!(
+        "dox of {} in the screencap, too long to type out\n",
+        persona.usernames[0]
+    ));
+    out.push_str(&format!(
+        "mirror: files.archive.example/{:08x}\n",
+        rng.random_range(0..u32::MAX)
+    ));
+    if let Some((_, handle)) = plan.osn.first() {
+        out.push_str(&format!("{handle} btw\n"));
+    }
+    let chatter = crate::names::THREAD_CHATTER;
+    out.push_str(chatter[rng.random_range(0..chatter.len())]);
+    out.push('\n');
+}
+
+fn render_osn_block(out: &mut String, plan: &RenderPlan, rng: &mut ChaCha8Rng) {
+    for (network, handle) in &plan.osn {
+        let reference = handles::render_reference(*network, handle, rng);
+        let style = rng.random_range(0..4u8);
+        let alias = network.label_aliases()[rng.random_range(0..network.label_aliases().len())];
+        match style {
+            // "Facebook: https://facebook.com/example"
+            0 => out.push_str(&format!("{}: {}\n", network.name(), reference)),
+            // "FB example"
+            1 => out.push_str(&format!("{} {}\n", alias.to_uppercase(), handle)),
+            // "fbs: example"
+            2 => out.push_str(&format!("{alias}: {reference}\n")),
+            // "facebooks; example"
+            _ => out.push_str(&format!("{alias}; {handle}\n")),
+        }
+    }
+}
+
+fn motivation_text(motivation: Motivation, persona: &Persona, rng: &mut ChaCha8Rng) -> String {
+    let first = &persona.first_name;
+    match motivation {
+        Motivation::Justice => [
+            format!("why? {first} scammed half the forum and thought we forgot. justice served."),
+            format!("this one snitched to the mods and got three people banned. now everyone knows who you are."),
+            format!("{first} ripped off buyers for months. consider this justice."),
+        ][rng.random_range(0..3)]
+        .clone(),
+        Motivation::Revenge => [
+            format!("you stole my girl {first}, now the internet knows everything about you. revenge is sweet."),
+            format!("payback for what you did to me last summer. enjoy the attention."),
+            format!("{first} thought they could trash talk me and walk away. this is revenge."),
+        ][rng.random_range(0..3)]
+        .clone(),
+        Motivation::Competitive => [
+            "claimed to be undoxable. took us 20 minutes. better luck next time.".to_string(),
+            "another 'anonymous' wannabe. we are simply better at this.".to_string(),
+        ][rng.random_range(0..2)]
+        .clone(),
+        Motivation::Political => [
+            "exposing another member of this hate group. they do not get to hide.".to_string(),
+            "this person profits from animal abuse. the public deserves to know.".to_string(),
+        ][rng.random_range(0..2)]
+        .clone(),
+    }
+}
+
+fn credit_line(credits: &[String], rng: &mut ChaCha8Rng) -> String {
+    match (credits.len(), rng.random_range(0..2u8)) {
+        (1, _) => format!("dropped by {}", credits[0]),
+        (_, 0) => {
+            let (last, rest) = credits.split_last().expect("len >= 2");
+            format!("dropped by {} and {}", rest.join(", "), last)
+        }
+        _ => {
+            let (first, rest) = credits.split_first().expect("len >= 2");
+            format!(
+                "dropped by {}, thanks to {} for the info",
+                first,
+                rest.join(" and ")
+            )
+        }
+    }
+}
+
+fn format_ts(minutes: u64) -> String {
+    let day = minutes / 1440;
+    let rem = minutes % 1440;
+    format!("2016-day{:03} {:02}:{:02}", day, rem / 60, rem % 60)
+}
+
+/// Build the [`DoxTruth`] record matching a rendered plan.
+pub fn truth_of(
+    persona: &Persona,
+    plan: &RenderPlan,
+    duplicate_of: Option<u64>,
+    exact_duplicate: bool,
+) -> DoxTruth {
+    DoxTruth {
+        persona_id: persona.id,
+        age: persona.age,
+        gender: persona.gender,
+        primary_country: persona.primary_country,
+        fields: plan.fields,
+        osn_handles: plan.osn.clone(),
+        community: if plan.show_community {
+            persona.community
+        } else {
+            None
+        },
+        motivation: plan.motivation,
+        credits: plan.credits.clone(),
+        duplicate_of,
+        exact_duplicate,
+        sloppy: plan.sloppy,
+        stub: plan.stub,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persona::PersonaGenerator;
+    use dox_geo::alloc::{AllocConfig, Allocation};
+    use dox_geo::model::{World, WorldConfig};
+    use rand_chacha::rand_core::SeedableRng;
+
+    struct Fixture {
+        world: World,
+        personas: Vec<Persona>,
+        doxers: DoxerPopulation,
+        config: SynthConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let world = World::generate(&WorldConfig::default(), 3);
+        let alloc = Allocation::generate(&world, &AllocConfig::default(), 3);
+        let config = SynthConfig::test_scale();
+        let mut g = PersonaGenerator::new(&world, &alloc, &config);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let personas = (0..200).map(|_| g.generate(&mut rng)).collect();
+        Fixture {
+            world,
+            personas,
+            doxers: DoxerPopulation::generate(5, 0.2),
+            config,
+        }
+    }
+
+    #[test]
+    fn rendered_dox_contains_planned_fields() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p = &f.personas[0];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.sloppy = false;
+        plan.template = 0;
+        plan.fields.phone = true;
+        plan.fields.ip = true;
+        plan.fields.real_name = true;
+        let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
+        assert!(text.contains(&p.phone));
+        assert!(text.contains(&p.ip.to_string()));
+        assert!(text.contains(&p.full_name()));
+    }
+
+    #[test]
+    fn excluded_fields_do_not_leak() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let p = &f.personas[1];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.sloppy = false;
+        plan.template = 0;
+        plan.fields.ssn = false;
+        plan.fields.credit_card = false;
+        plan.fields.passwords = false;
+        let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
+        assert!(!text.contains(&p.ssn));
+        assert!(!text.contains(&p.credit_card));
+        assert!(!text.contains(&p.password));
+    }
+
+    #[test]
+    fn osn_rates_approximate_table9() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let n = 4000;
+        let mut fb = 0usize;
+        for i in 0..n {
+            let p = &f.personas[i % f.personas.len()];
+            let plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+            if plan.osn.iter().any(|(net, _)| *net == Network::Facebook) {
+                fb += 1;
+            }
+        }
+        // Table 9 target 17.8 %, generated at target/attenuation
+        // (see OsnRates::paper_wild), dampened by account ownership 0.9.
+        let expected = 0.178 / 0.78 * 0.9;
+        let rate = fb as f64 / n as f64;
+        assert!((rate - expected).abs() < 0.02, "facebook rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn proof_of_work_doxes_richer() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let n = 2000;
+        let count = |pow: bool, rng: &mut ChaCha8Rng| {
+            (0..n)
+                .map(|i| {
+                    sample_plan(&f.personas[i % f.personas.len()], &f.config, pow, &f.doxers, rng)
+                        .osn
+                        .len()
+                })
+                .sum::<usize>() as f64
+                / n as f64
+        };
+        let wild = count(false, &mut rng);
+        let pow = count(true, &mut rng);
+        assert!(pow > wild * 2.0, "pow {pow} vs wild {wild}");
+    }
+
+    #[test]
+    fn near_duplicate_differs_but_shares_content() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let p = &f.personas[2];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.sloppy = false;
+        plan.template = 0;
+        plan.fields.real_name = true;
+        let mut rng_a = ChaCha8Rng::seed_from_u64(100);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(100);
+        let original = render(p, &plan, &f.world, Variation::default(), &mut rng_a);
+        let dup = render(
+            p,
+            &plan,
+            &f.world,
+            Variation {
+                timestamp: Some(12345),
+                alt_insignia: true,
+                update_section: true,
+            },
+            &mut rng_b,
+        );
+        assert_ne!(original, dup);
+        assert!(dup.contains("UPDATE"));
+        assert!(dup.contains(&p.full_name()));
+        assert!(original.contains(&p.full_name()));
+    }
+
+    #[test]
+    fn credit_lines_mention_all_credited() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let credits = vec!["DoxerA".to_string(), "@doxerb".to_string(), "DoxerC".to_string()];
+        for _ in 0..10 {
+            let line = credit_line(&credits, &mut rng);
+            for c in &credits {
+                assert!(line.contains(c.as_str()), "{line} missing {c}");
+            }
+            assert!(line.starts_with("dropped by"));
+        }
+    }
+
+    #[test]
+    fn motivation_rates_approximate_table8() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let n = 6000;
+        let mut justice = 0usize;
+        let mut any = 0usize;
+        for i in 0..n {
+            let plan = sample_plan(
+                &f.personas[i % f.personas.len()],
+                &f.config,
+                false,
+                &f.doxers,
+                &mut rng,
+            );
+            if plan.motivation == Some(Motivation::Justice) {
+                justice += 1;
+            }
+            if plan.motivation.is_some() {
+                any += 1;
+            }
+        }
+        let j = justice as f64 / n as f64;
+        let a = any as f64 / n as f64;
+        assert!((j - 0.147).abs() < 0.02, "justice {j}");
+        assert!((a - 0.285).abs() < 0.025, "any motivation {a}");
+    }
+
+    #[test]
+    fn truth_reflects_plan() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let p = &f.personas[3];
+        let plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        let t = truth_of(p, &plan, Some(7), true);
+        assert_eq!(t.persona_id, p.id);
+        assert_eq!(t.fields, plan.fields);
+        assert_eq!(t.osn_handles, plan.osn);
+        assert_eq!(t.duplicate_of, Some(7));
+        assert!(t.exact_duplicate);
+    }
+
+    #[test]
+    fn sloppy_doxes_have_no_labels() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let p = &f.personas[4];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.sloppy = true;
+        plan.stub = false;
+        plan.template = 0; // narrative variant
+        let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
+        assert!(!text.contains("Name:"), "narrative must not use labels: {text}");
+    }
+
+    #[test]
+    fn fragment_doxes_share_chatter_with_discussions() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(26);
+        let p = &f.personas[5];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.sloppy = true;
+        plan.stub = false;
+        plan.template = 1; // fragment variant
+        let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
+        let first_line = text.lines().next().unwrap();
+        assert!(
+            crate::names::THREAD_CHATTER.contains(&first_line),
+            "fragment opens with shared chatter: {first_line}"
+        );
+    }
+
+    #[test]
+    fn stub_doxes_reveal_only_alias_and_mirror() {
+        let f = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(27);
+        let p = &f.personas[6];
+        let mut plan = sample_plan(p, &f.config, false, &f.doxers, &mut rng);
+        plan.stub = true;
+        let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
+        assert!(text.contains("screencap"));
+        assert!(text.contains("files.archive.example/"));
+        assert!(text.contains(&p.usernames[0]));
+        assert!(!text.contains(&p.phone), "stubs leak no phone");
+        assert!(!text.contains(&p.full_name()), "stubs leak no real name");
+    }
+}

@@ -1,0 +1,122 @@
+//! Order-2 word Markov chain text generator.
+//!
+//! Used for prose-like filler in non-dox pastes (essays, forum rants,
+//! README bodies). The chain is trained on the synthetic [`crate::names::PROSE_SEED`]
+//! vocabulary, so output is plain, license-free English-looking text.
+
+use rand::RngExt;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// An order-2 word Markov chain.
+#[derive(Debug, Clone)]
+pub struct MarkovChain {
+    /// `(w1, w2) -> possible next words`.
+    table: HashMap<(String, String), Vec<String>>,
+    /// All observed bigrams, for choosing start states.
+    starts: Vec<(String, String)>,
+}
+
+impl MarkovChain {
+    /// Train on whitespace-tokenized `text`.
+    ///
+    /// # Panics
+    /// Panics if `text` has fewer than three words.
+    pub fn train(text: &str) -> Self {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        assert!(words.len() >= 3, "need at least three words to train");
+        let mut table: HashMap<(String, String), Vec<String>> = HashMap::new();
+        let mut starts = Vec::new();
+        for w in words.windows(3) {
+            let key = (w[0].to_string(), w[1].to_string());
+            starts.push(key.clone());
+            table.entry(key).or_default().push(w[2].to_string());
+        }
+        Self { table, starts }
+    }
+
+    /// A chain trained on the built-in prose seed.
+    pub fn prose() -> Self {
+        Self::train(crate::names::PROSE_SEED)
+    }
+
+    /// Generate `n_words` of text.
+    pub fn generate(&self, n_words: usize, rng: &mut ChaCha8Rng) -> String {
+        if n_words == 0 {
+            return String::new();
+        }
+        let mut state = self.starts[rng.random_range(0..self.starts.len())].clone();
+        let mut out = vec![state.0.clone(), state.1.clone()];
+        while out.len() < n_words {
+            match self.table.get(&state) {
+                Some(nexts) => {
+                    let next = nexts[rng.random_range(0..nexts.len())].clone();
+                    out.push(next.clone());
+                    state = (state.1, next);
+                }
+                None => {
+                    // Dead end: restart from a random bigram.
+                    state = self.starts[rng.random_range(0..self.starts.len())].clone();
+                }
+            }
+        }
+        out.truncate(n_words);
+        out.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+
+    #[test]
+    fn generates_requested_length() {
+        let chain = MarkovChain::prose();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let text = chain.generate(50, &mut rng);
+        assert_eq!(text.split_whitespace().count(), 50);
+    }
+
+    #[test]
+    fn zero_words_is_empty() {
+        let chain = MarkovChain::prose();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(chain.generate(0, &mut rng), "");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let chain = MarkovChain::prose();
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(chain.generate(30, &mut a), chain.generate(30, &mut b));
+    }
+
+    #[test]
+    fn output_vocabulary_comes_from_seed() {
+        let chain = MarkovChain::prose();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let vocab: std::collections::HashSet<&str> =
+            crate::names::PROSE_SEED.split_whitespace().collect();
+        for w in chain.generate(200, &mut rng).split_whitespace() {
+            assert!(vocab.contains(w), "unexpected word {w}");
+        }
+    }
+
+    #[test]
+    fn dead_end_restarts() {
+        // A tiny corpus whose final bigram has no successor forces the
+        // dead-end path.
+        let chain = MarkovChain::train("a b c");
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let text = chain.generate(10, &mut rng);
+        assert_eq!(text.split_whitespace().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "three words")]
+    fn too_small_corpus_panics() {
+        MarkovChain::train("one two");
+    }
+}

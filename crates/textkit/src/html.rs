@@ -1,0 +1,335 @@
+//! HTML to plain-text conversion.
+//!
+//! Postings scraped from 4chan.org and 8ch.net arrive as HTML fragments; the
+//! paper converts them with `html2text` (§3.1.2), which "replaces HTML markup
+//! with semantically equivalent plain-text representations", e.g. turning
+//! `<ul>`/`<ol>`/`<li>` into indented, newline-separated strings.
+//!
+//! [`html_to_text`] is a single-pass, allocation-frugal converter covering
+//! the markup that actually occurs on chan boards: paragraph/line-break tags,
+//! ordered and unordered lists, blockquotes (chan "greentext" uses
+//! `<span class="quote">`), `<br>`, entity references, and tag stripping for
+//! everything else. `<script>` and `<style>` contents are dropped entirely.
+
+/// Convert an HTML fragment to semantically equivalent plain text.
+///
+/// ```
+/// let html = "<b>Dox</b> of <i>someone</i><br>line2<ul><li>a</li><li>b</li></ul>";
+/// let text = dox_textkit::html::html_to_text(html);
+/// assert_eq!(text, "Dox of someone\nline2\n  - a\n  - b");
+/// ```
+pub fn html_to_text(html: &str) -> String {
+    Converter::new().run(html)
+}
+
+/// Decode the HTML entities that occur in practice on the measured boards.
+///
+/// Handles the named entities `&amp; &lt; &gt; &quot; &apos; &nbsp; &#39;`
+/// plus decimal (`&#NN;`) and hexadecimal (`&#xNN;`) numeric references.
+/// Unknown entities are passed through verbatim.
+pub fn decode_entities(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = text[i..].find(';').map(|p| i + p) {
+                // entities are short; cap lookahead to avoid scanning far
+                if semi - i <= 10 {
+                    let ent = &text[i + 1..semi];
+                    if let Some(decoded) = decode_entity(ent) {
+                        out.push_str(&decoded);
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let ch = text[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+fn decode_entity(ent: &str) -> Option<String> {
+    match ent {
+        "amp" => Some("&".into()),
+        "lt" => Some("<".into()),
+        "gt" => Some(">".into()),
+        "quot" => Some("\"".into()),
+        "apos" => Some("'".into()),
+        "nbsp" => Some(" ".into()),
+        _ => {
+            let num = ent.strip_prefix('#')?;
+            let code = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                num.parse::<u32>().ok()?
+            };
+            char::from_u32(code).map(|c| c.to_string())
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListKind {
+    Unordered,
+    Ordered(usize),
+}
+
+struct Converter {
+    out: String,
+    list_stack: Vec<ListKind>,
+    /// Skipping the body of `<script>`/`<style>`.
+    skip_until: Option<&'static str>,
+    /// Inside a chan greentext quote span.
+    quote_depth: usize,
+    pending_quote_prefix: bool,
+}
+
+impl Converter {
+    fn new() -> Self {
+        Self {
+            out: String::new(),
+            list_stack: Vec::new(),
+            skip_until: None,
+            quote_depth: 0,
+            pending_quote_prefix: false,
+        }
+    }
+
+    fn run(mut self, html: &str) -> String {
+        let mut rest = html;
+        while let Some(lt) = rest.find('<') {
+            let (text, after) = rest.split_at(lt);
+            self.push_text(text);
+            match after[1..].find('>') {
+                Some(gt) => {
+                    let tag = &after[1..1 + gt];
+                    self.handle_tag(tag);
+                    rest = &after[gt + 2..];
+                }
+                None => {
+                    // Unclosed '<': treat remainder as text.
+                    self.push_text(after);
+                    rest = "";
+                    break;
+                }
+            }
+        }
+        self.push_text(rest);
+        trim_blank_edges(&self.out)
+    }
+
+    fn push_text(&mut self, text: &str) {
+        if self.skip_until.is_some() || text.is_empty() {
+            return;
+        }
+        let decoded = decode_entities(text);
+        // Raw newlines in HTML source are soft whitespace, not line breaks.
+        let flat = decoded.replace(['\n', '\r', '\t'], " ");
+        let trimmed = if self.out.ends_with('\n') || self.out.is_empty() {
+            flat.trim_start()
+        } else {
+            &flat
+        };
+        if trimmed.is_empty() {
+            return;
+        }
+        if self.pending_quote_prefix {
+            self.out.push_str("> ");
+            self.pending_quote_prefix = false;
+        }
+        self.out.push_str(trimmed);
+    }
+
+    fn handle_tag(&mut self, raw: &str) {
+        let raw = raw.trim();
+        if raw.starts_with('!') {
+            return; // comment or doctype
+        }
+        let closing = raw.starts_with('/');
+        let name_part = raw.trim_start_matches('/');
+        let name_end = name_part
+            .find(|c: char| c.is_whitespace() || c == '/')
+            .unwrap_or(name_part.len());
+        let name = name_part[..name_end].to_ascii_lowercase();
+        let attrs = &name_part[name_end..];
+
+        if let Some(until) = self.skip_until {
+            if closing && name == until {
+                self.skip_until = None;
+            }
+            return;
+        }
+
+        match (name.as_str(), closing) {
+            ("script", false) => self.skip_until = Some("script"),
+            ("style", false) => self.skip_until = Some("style"),
+            ("br", _) | ("hr", _) => self.newline(),
+            ("p", _) | ("div", _) | ("tr", _) | ("table", _) | ("blockquote", _) => {
+                self.newline();
+            }
+            ("h1", _) | ("h2", _) | ("h3", _) | ("h4", _) | ("h5", _) | ("h6", _) => {
+                self.newline();
+            }
+            ("ul", false) => {
+                self.newline();
+                self.list_stack.push(ListKind::Unordered);
+            }
+            ("ol", false) => {
+                self.newline();
+                self.list_stack.push(ListKind::Ordered(0));
+            }
+            ("ul", true) | ("ol", true) => {
+                self.list_stack.pop();
+                self.newline();
+            }
+            ("li", false) => {
+                self.newline();
+                let depth = self.list_stack.len().max(1);
+                for _ in 0..depth {
+                    self.out.push_str("  ");
+                }
+                match self.list_stack.last_mut() {
+                    Some(ListKind::Ordered(n)) => {
+                        *n += 1;
+                        let n = *n;
+                        self.out.push_str(&format!("{n}. "));
+                    }
+                    _ => self.out.push_str("- "),
+                }
+            }
+            ("span", false) if attrs.contains("quote") => {
+                self.quote_depth += 1;
+                self.pending_quote_prefix = true;
+            }
+            ("span", true) if self.quote_depth > 0 => {
+                self.quote_depth -= 1;
+                self.pending_quote_prefix = false;
+            }
+            _ => {}
+        }
+    }
+
+    fn newline(&mut self) {
+        if !self.out.is_empty() && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+    }
+}
+
+/// Trim leading/trailing blank lines and trailing spaces on each line.
+fn trim_blank_edges(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
+    let start = lines.iter().position(|l| !l.is_empty()).unwrap_or(0);
+    let end = lines.iter().rposition(|l| !l.is_empty()).map_or(0, |e| e + 1);
+    lines[start..end].join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(html_to_text("just some text"), "just some text");
+    }
+
+    #[test]
+    fn tags_are_stripped() {
+        assert_eq!(html_to_text("<b>bold</b> and <i>italic</i>"), "bold and italic");
+    }
+
+    #[test]
+    fn br_becomes_newline() {
+        assert_eq!(html_to_text("a<br>b<br/>c"), "a\nb\nc");
+    }
+
+    #[test]
+    fn unordered_list_matches_paper_description() {
+        // the paper: "<ul>, <ol> and <li> tags ... to indented, newline
+        // separated text strings"
+        let html = "<ul><li>name: X</li><li>addr: Y</li></ul>";
+        assert_eq!(html_to_text(html), "  - name: X\n  - addr: Y");
+    }
+
+    #[test]
+    fn ordered_list_numbers_items() {
+        let html = "<ol><li>first</li><li>second</li></ol>";
+        assert_eq!(html_to_text(html), "  1. first\n  2. second");
+    }
+
+    #[test]
+    fn nested_lists_indent() {
+        let html = "<ul><li>outer<ul><li>inner</li></ul></li></ul>";
+        assert_eq!(html_to_text(html), "  - outer\n    - inner");
+    }
+
+    #[test]
+    fn entities_decode() {
+        assert_eq!(decode_entities("a &amp; b &lt;c&gt; &#39;d&#x27;"), "a & b <c> 'd'");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode_entities("&bogus; &zzz;"), "&bogus; &zzz;");
+    }
+
+    #[test]
+    fn numeric_entity_out_of_range_passes_through() {
+        assert_eq!(decode_entities("&#1114112;"), "&#1114112;");
+    }
+
+    #[test]
+    fn script_and_style_bodies_dropped() {
+        let html = "before<script>var x = '<li>';</script>after";
+        assert_eq!(html_to_text(html), "beforeafter");
+        let html = "a<style>p { color: red }</style>b";
+        assert_eq!(html_to_text(html), "ab");
+    }
+
+    #[test]
+    fn chan_greentext_quote() {
+        let html = r#"<span class="quote">&gt;implying</span><br>reply text"#;
+        assert_eq!(html_to_text(html), "> >implying\nreply text");
+    }
+
+    #[test]
+    fn paragraphs_separate_lines() {
+        assert_eq!(html_to_text("<p>one</p><p>two</p>"), "one\ntwo");
+    }
+
+    #[test]
+    fn unclosed_tag_is_text() {
+        assert_eq!(html_to_text("tricky < not a tag"), "tricky < not a tag");
+    }
+
+    #[test]
+    fn raw_newlines_are_soft() {
+        assert_eq!(html_to_text("one\ntwo"), "one two");
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        assert_eq!(html_to_text("a<!-- hidden -->b"), "ab");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(html_to_text(""), "");
+    }
+
+    #[test]
+    fn typical_chan_post() {
+        let html = "<a href=\"#p123\" class=\"quotelink\">&gt;&gt;123</a><br>\
+                    dropping this fag&#039;s dox<br>Name: John Example<br>\
+                    Phone: 555-0100";
+        let text = html_to_text(html);
+        assert!(text.contains("dropping this fag's dox"));
+        assert!(text.contains("Name: John Example"));
+        assert!(text.contains("Phone: 555-0100"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Document similarity primitives for near-duplicate detection.
+//!
+//! The paper de-duplicates doxes in two passes (§3.1.4): exact body matches,
+//! then identity of the extracted OSN account sets. Real deployments also
+//! want fuzzy matching — doxers re-paste files with timestamp or ASCII-art
+//! tweaks — so this module provides word shingling, Jaccard similarity and
+//! 64-bit SimHash, which `dox-core`'s dedup stage exposes as an optional
+//! third pass and the ablation benchmarks compare against the paper's
+//! account-set method.
+
+use crate::hashing::fnv1a;
+use std::collections::BTreeSet;
+
+/// The set of `k`-word shingles (word-level n-grams) of `text`, hashed to
+/// `u64` for compactness. Tokenization is whitespace-based and lowercased.
+pub fn shingles(text: &str, k: usize) -> BTreeSet<u64> {
+    assert!(k > 0, "shingle size must be positive");
+    let words: Vec<String> = text.split_whitespace().map(str::to_lowercase).collect();
+    let mut out = BTreeSet::new();
+    if words.len() < k {
+        if !words.is_empty() {
+            out.insert(fnv1a(words.join(" ").as_bytes()));
+        }
+        return out;
+    }
+    for w in words.windows(k) {
+        out.insert(fnv1a(w.join(" ").as_bytes()));
+    }
+    out
+}
+
+/// Jaccard similarity of two sets: `|A ∩ B| / |A ∪ B|`, with the convention
+/// that two empty sets are identical (similarity 1).
+pub fn jaccard(a: &BTreeSet<u64>, b: &BTreeSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Jaccard similarity of the `k`-shingle sets of two texts.
+pub fn shingle_similarity(a: &str, b: &str, k: usize) -> f64 {
+    jaccard(&shingles(a, k), &shingles(b, k))
+}
+
+/// 64-bit SimHash of `text` over word features.
+///
+/// Near-duplicate texts produce hashes at small Hamming distance; the dedup
+/// stage considers texts with distance ≤ 3 candidates for fuzzy matching.
+pub fn simhash(text: &str) -> u64 {
+    let mut acc = [0i32; 64];
+    for word in text.split_whitespace() {
+        let h = fnv1a(word.to_lowercase().as_bytes());
+        for (bit, slot) in acc.iter_mut().enumerate() {
+            if (h >> bit) & 1 == 1 {
+                *slot += 1;
+            } else {
+                *slot -= 1;
+            }
+        }
+    }
+    let mut out = 0u64;
+    for (bit, &slot) in acc.iter().enumerate() {
+        if slot > 0 {
+            out |= 1 << bit;
+        }
+    }
+    out
+}
+
+/// Hamming distance between two 64-bit hashes.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// True when two texts are SimHash-near (`hamming ≤ max_distance`).
+pub fn simhash_near(a: &str, b: &str, max_distance: u32) -> bool {
+    hamming(simhash(a), simhash(b)) <= max_distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_jaccard_one() {
+        let t = "name john phone 555 address somewhere";
+        assert_eq!(shingle_similarity(t, t, 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_texts_jaccard_zero() {
+        assert_eq!(shingle_similarity("aa bb cc dd", "ee ff gg hh", 2), 0.0);
+    }
+
+    #[test]
+    fn near_duplicate_high_similarity() {
+        let a = "dox of victim name john example address 12 main st phone 555 0100 email j at x";
+        let b = format!("{a} updated 2016 08 01"); // re-paste with timestamp
+        let sim = shingle_similarity(a, &b, 3);
+        assert!(sim > 0.7, "sim = {sim}");
+    }
+
+    #[test]
+    fn short_text_falls_back_to_whole_text_shingle() {
+        let s = shingles("one two", 5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        assert_eq!(jaccard(&BTreeSet::new(), &BTreeSet::new()), 1.0);
+        assert_eq!(shingle_similarity("", "", 3), 1.0);
+        assert_eq!(shingle_similarity("", "words here", 3), 0.0);
+    }
+
+    #[test]
+    fn jaccard_symmetric_and_bounded() {
+        let a = shingles("w x y z a b", 2);
+        let b = shingles("y z a b c d", 2);
+        let s1 = jaccard(&a, &b);
+        let s2 = jaccard(&b, &a);
+        assert_eq!(s1, s2);
+        assert!((0.0..=1.0).contains(&s1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shingle_size_rejected() {
+        shingles("a b c", 0);
+    }
+
+    #[test]
+    fn simhash_deterministic_and_near_for_duplicates() {
+        let a = "full dox name example address city phone number email isp asn";
+        let b = format!("{a} extra");
+        assert_eq!(simhash(a), simhash(a));
+        assert!(hamming(simhash(a), simhash(&b)) < 16);
+    }
+
+    #[test]
+    fn simhash_far_for_different_texts() {
+        let a = "dox name address phone email social security";
+        let b = "fn main prints hello world rust code snippet example compile";
+        assert!(hamming(simhash(a), simhash(b)) > 10);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0, u64::MAX), 64);
+        assert_eq!(hamming(0b1010, 0b0110), 2);
+    }
+
+    #[test]
+    fn simhash_near_helper() {
+        assert!(simhash_near("a b c", "a b c", 0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Word tokenization and n-gram expansion.
+//!
+//! The paper's classifier uses scikit-learn's `TfidfVectorizer` with default
+//! parameters, whose token pattern is `(?u)\b\w\w+\b`: maximal runs of word
+//! characters (alphanumerics plus underscore) of length at least two.
+//! [`Tokenizer`] reproduces that behaviour without a regex engine.
+
+/// Configuration for [`Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizerConfig {
+    /// Lowercase the input before tokenizing (sklearn default: `true`).
+    pub lowercase: bool,
+    /// Minimum token length in characters (sklearn default: `2`).
+    pub min_token_len: usize,
+    /// Inclusive n-gram range `(lo, hi)` over words (sklearn default `(1,1)`).
+    pub ngram_range: (usize, usize),
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_token_len: 2,
+            ngram_range: (1, 1),
+        }
+    }
+}
+
+/// A deterministic word tokenizer matching the scikit-learn default token
+/// pattern `\w\w+` with optional word n-gram expansion.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Create a tokenizer matching scikit-learn `TfidfVectorizer` defaults.
+    pub fn sklearn_default() -> Self {
+        Self::new(TokenizerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize `text` into owned tokens, including n-gram expansion.
+    ///
+    /// Word characters are Unicode alphanumerics plus `_`; every maximal run
+    /// of length `>= min_token_len` becomes a token. N-grams of words are
+    /// joined with a single space, matching sklearn's convention.
+    ///
+    /// ```
+    /// let t = dox_textkit::Tokenizer::sklearn_default();
+    /// assert_eq!(t.tokenize("Dox'd: John_Doe a I"), vec!["dox", "john_doe"]);
+    /// ```
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let lowered;
+        let text = if self.config.lowercase {
+            lowered = text.to_lowercase();
+            &lowered
+        } else {
+            text
+        };
+        let words = split_words(text, self.config.min_token_len);
+        let (lo, hi) = self.config.ngram_range;
+        if (lo, hi) == (1, 1) {
+            return words.into_iter().map(str::to_string).collect();
+        }
+        let mut out = Vec::new();
+        for n in lo..=hi {
+            if n == 0 || n > words.len() {
+                continue;
+            }
+            for window in words.windows(n) {
+                out.push(window.join(" "));
+            }
+        }
+        out
+    }
+}
+
+/// Split `text` into maximal word-character runs of length at least
+/// `min_len` characters.
+fn split_words(text: &str, min_len: usize) -> Vec<&str> {
+    let mut words = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut char_count = 0usize;
+    for (idx, ch) in text.char_indices() {
+        let is_word = ch.is_alphanumeric() || ch == '_';
+        match (is_word, start) {
+            (true, None) => {
+                start = Some(idx);
+                char_count = 1;
+            }
+            (true, Some(_)) => char_count += 1,
+            (false, Some(s)) => {
+                if char_count >= min_len {
+                    words.push(&text[s..idx]);
+                }
+                start = None;
+            }
+            (false, None) => {}
+        }
+    }
+    if let Some(s) = start {
+        if char_count >= min_len {
+            words.push(&text[s..]);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_sklearn_pattern() {
+        let t = Tokenizer::sklearn_default();
+        // single-character tokens are dropped, punctuation splits
+        assert_eq!(
+            t.tokenize("I am a dox-file, v2!"),
+            vec!["am", "dox", "file", "v2"]
+        );
+    }
+
+    #[test]
+    fn underscore_is_word_char() {
+        let t = Tokenizer::sklearn_default();
+        assert_eq!(t.tokenize("snake_case_name"), vec!["snake_case_name"]);
+    }
+
+    #[test]
+    fn lowercasing_can_be_disabled() {
+        let t = Tokenizer::new(TokenizerConfig {
+            lowercase: false,
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("DoX DoX"), vec!["DoX", "DoX"]);
+    }
+
+    #[test]
+    fn bigrams_join_with_space() {
+        let t = Tokenizer::new(TokenizerConfig {
+            ngram_range: (1, 2),
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(
+            t.tokenize("full name here"),
+            vec!["full", "name", "here", "full name", "name here"]
+        );
+    }
+
+    #[test]
+    fn pure_bigrams() {
+        let t = Tokenizer::new(TokenizerConfig {
+            ngram_range: (2, 2),
+            ..TokenizerConfig::default()
+        });
+        assert_eq!(t.tokenize("aa bb cc"), vec!["aa bb", "bb cc"]);
+    }
+
+    #[test]
+    fn ngram_longer_than_text_is_empty() {
+        let t = Tokenizer::new(TokenizerConfig {
+            ngram_range: (3, 3),
+            ..TokenizerConfig::default()
+        });
+        assert!(t.tokenize("aa bb").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let t = Tokenizer::sklearn_default();
+        assert_eq!(t.tokenize("héllo wörld"), vec!["héllo", "wörld"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = Tokenizer::sklearn_default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! ... ---").is_empty());
+    }
+
+    #[test]
+    fn trailing_word_is_kept() {
+        let t = Tokenizer::sklearn_default();
+        assert_eq!(t.tokenize("ends with word"), vec!["ends", "with", "word"]);
+    }
+
+    #[test]
+    fn min_len_respects_chars_not_bytes() {
+        let t = Tokenizer::sklearn_default();
+        // 'éé' is two chars, four bytes; must be kept.
+        assert_eq!(t.tokenize("éé"), vec!["éé"]);
+    }
+}

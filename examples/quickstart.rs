@@ -1,0 +1,65 @@
+//! Quickstart: train the dox classifier, classify two documents, and
+//! extract the structured record from the positive one.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use doxing_repro::core::training::DoxClassifier;
+use doxing_repro::extract::record::extract;
+use doxing_repro::geo::alloc::{AllocConfig, Allocation};
+use doxing_repro::geo::model::{World, WorldConfig};
+use doxing_repro::synth::config::SynthConfig;
+use doxing_repro::synth::corpus::CorpusGenerator;
+
+fn main() {
+    // 1. Build the synthetic world and a labeled training corpus —
+    //    proof-of-work dox positives plus random-crawl negatives
+    //    (the paper's §3.1.2 training data).
+    let world = World::generate(&WorldConfig::default(), 42);
+    let alloc = Allocation::generate(&world, &AllocConfig::default(), 42);
+    let mut generator = CorpusGenerator::new(&world, &alloc, SynthConfig::test_scale());
+    let (texts, labels) = generator.training_sets();
+
+    // 2. Train the TF-IDF + SGD classifier and print its held-out quality
+    //    (the paper's Table 1 protocol: 2/3 train, 1/3 evaluate).
+    let (classifier, summary) = DoxClassifier::train(&texts, &labels, 42);
+    println!("Classifier evaluation (Table 1 protocol):");
+    println!("{}", summary.report.to_table());
+
+    // 3. Classify two documents.
+    let dox = "\
+Name: Jaren Thornvik
+Age: 19
+Address: 1210 Maple Street, Brackford, NK 10234
+Phone: (312) 555-0188
+IP: 73.54.12.9
+Facebook: https://facebook.com/jaren.thornvik4
+twitter: @jaren_t4
+dropped by NullFang_3 and @HexMancer_8, thanks to ByteCrow_1 for the SSN info";
+    let paste = "fn main() { println!(\"just some rust code\"); } // build script";
+
+    println!("dox-looking text  -> classified dox? {}", classifier.is_dox(dox));
+    println!("code-looking text -> classified dox? {}", classifier.is_dox(paste));
+
+    // 4. Extract the structured record from the dox (§3.1.3).
+    let record = extract(dox);
+    println!("\nExtraction record:");
+    println!("  name : {:?} {:?}", record.fields.first_name, record.fields.last_name);
+    println!("  age  : {:?}", record.fields.age);
+    println!("  phone: {:?}", record.fields.phones);
+    println!("  ip   : {:?}", record.fields.ips);
+    println!("  zip  : {:?}", record.fields.zip);
+    for osn in &record.osn {
+        println!("  account: {} -> {}", osn.network, osn.handle);
+    }
+    for credit in &record.credits {
+        println!("  credited doxer: {} (twitter: {:?})", credit.alias, credit.twitter);
+    }
+
+    // 5. The most dox-indicative vocabulary the model learned.
+    println!("\nTop dox-indicative terms:");
+    for (term, weight) in classifier.top_dox_terms(8) {
+        println!("  {term:<12} {weight:+.3}");
+    }
+}

@@ -1,0 +1,150 @@
+//! An anti-SWATting watchlist (paper §7.2).
+//!
+//! SWATting amplifies a dox: with just an address, an attacker can send an
+//! armed response to a victim's door. The paper proposes sharing a
+//! watchlist of addresses and phone numbers that recently appeared in dox
+//! files with police departments, so a report of violence at a listed
+//! address gets a second look before force is dispatched.
+//!
+//! This example builds that watchlist from the pipeline's detections and
+//! then simulates a police dispatcher querying it for incoming emergency
+//! reports.
+//!
+//! ```text
+//! cargo run --release --example swat_watchlist
+//! ```
+
+use doxing_repro::core::pipeline::Pipeline;
+use doxing_repro::core::training::DoxClassifier;
+use doxing_repro::geo::alloc::{AllocConfig, Allocation};
+use doxing_repro::geo::model::{World, WorldConfig};
+use doxing_repro::osn::clock::{SimDuration, SimTime};
+use doxing_repro::sites::collect::Collector;
+use doxing_repro::synth::config::SynthConfig;
+use doxing_repro::synth::corpus::CorpusGenerator;
+use std::collections::HashMap;
+
+/// A watchlist entry: when the identifier was seen in a dox.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seen_at: SimTime,
+}
+
+/// The address/phone watchlist with an expiry horizon.
+struct SwatWatchlist {
+    /// Normalized zip → latest dox sighting.
+    by_zip: HashMap<u32, Entry>,
+    /// Canonical 10-digit phone → latest dox sighting.
+    by_phone: HashMap<String, Entry>,
+    /// Entries older than this no longer raise flags.
+    ttl: SimDuration,
+}
+
+impl SwatWatchlist {
+    fn new(ttl_days: u64) -> Self {
+        Self {
+            by_zip: HashMap::new(),
+            by_phone: HashMap::new(),
+            ttl: SimDuration::from_days(ttl_days),
+        }
+    }
+
+    fn ingest(&mut self, detection: &doxing_repro::core::pipeline::DetectedDox) {
+        let entry = Entry {
+            seen_at: detection.observed_at,
+        };
+        if let Some(zip) = detection.extracted.fields.zip {
+            self.by_zip.insert(zip, entry);
+        }
+        for phone in &detection.extracted.fields.phones {
+            self.by_phone.insert(phone.clone(), entry);
+        }
+    }
+
+    /// Dispatcher query: has this zip appeared in a recent dox?
+    fn flag_zip(&self, zip: u32, now: SimTime) -> bool {
+        self.by_zip
+            .get(&zip)
+            .is_some_and(|e| now.since(e.seen_at) <= self.ttl)
+    }
+
+    /// Dispatcher query for a caller-provided callback number.
+    fn flag_phone(&self, phone: &str, now: SimTime) -> bool {
+        self.by_phone
+            .get(phone)
+            .is_some_and(|e| now.since(e.seen_at) <= self.ttl)
+    }
+}
+
+fn main() {
+    let world = World::generate(&WorldConfig::default(), 11);
+    let alloc = Allocation::generate(&world, &AllocConfig::default(), 11);
+    let mut generator = CorpusGenerator::new(&world, &alloc, SynthConfig::at_scale(0.01));
+
+    let (texts, labels) = generator.training_sets();
+    let (classifier, _) = DoxClassifier::train(&texts, &labels, 11);
+    let mut pipeline = Pipeline::new(classifier);
+    let mut collector = Collector::new(11);
+    for period in [1u8, 2] {
+        collector.collect_period(&mut generator, period, &mut |c| {
+            pipeline.process(&c, period);
+        });
+    }
+
+    // Build the watchlist from every detection (duplicates included — a
+    // re-post refreshes the entry, which is what a TTL wants).
+    let mut watchlist = SwatWatchlist::new(60);
+    for detection in pipeline.detected() {
+        watchlist.ingest(detection);
+    }
+    println!(
+        "watchlist: {} zip codes, {} phone numbers (60-day TTL)",
+        watchlist.by_zip.len(),
+        watchlist.by_phone.len()
+    );
+
+    // Simulate dispatcher queries at the end of period 2: one report from
+    // a doxed victim's address, one from a random un-doxed address.
+    let now = SimTime::from_days(200);
+    let doxed_zip = pipeline
+        .detected()
+        .iter()
+        .rev()
+        .find_map(|d| d.extracted.fields.zip)
+        .expect("some detection carries a zip at this scale");
+    let undoxed_zip = 99_999;
+
+    for (label, zip) in [("doxed victim", doxed_zip), ("unrelated home", undoxed_zip)] {
+        let flagged = watchlist.flag_zip(zip, now);
+        println!(
+            "dispatch query: report of violence at zip {zip} ({label}) -> {}",
+            if flagged {
+                "FLAG: address appeared in a recent dox — verify before dispatching force"
+            } else {
+                "no dox history"
+            }
+        );
+    }
+
+    // Old sightings expire.
+    let much_later = now + SimDuration::from_days(365);
+    assert!(!watchlist.flag_zip(doxed_zip, much_later), "TTL must expire");
+    println!("one year later, the same zip no longer flags (TTL expired).");
+
+    // Phone-side check.
+    if let Some(phone) = pipeline
+        .detected()
+        .iter()
+        .rev()
+        .find_map(|d| d.extracted.fields.phones.first().cloned())
+    {
+        println!(
+            "dispatch query: callback number {phone} -> {}",
+            if watchlist.flag_phone(&phone, now) {
+                "FLAG: number appeared in a recent dox"
+            } else {
+                "no dox history"
+            }
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # doxing-repro
+//!
+//! A full reproduction of *"Fifteen Minutes of Unwanted Fame: Detecting and
+//! Characterizing Doxing"* (Snyder, Doerfler, Kanich, McCoy — IMC 2017) as a
+//! Rust workspace.
+//!
+//! This façade crate re-exports every subsystem so that downstream users (and
+//! the runnable examples in `examples/`) can depend on a single crate:
+//!
+//! - [`textkit`] — tokenization, HTML→text, sparse vectors, TF-IDF.
+//! - [`ml`] — SGD linear classifiers, baselines, evaluation metrics.
+//! - [`geo`] — synthetic geography, geo-IP, postal geocoding, consistency.
+//! - [`synth`] — synthetic persona / dox / paste corpus generation.
+//! - [`osn`] — simulated online social network platforms and scraping.
+//! - [`sites`] — simulated paste sites (pastebin-like, chan-like boards).
+//! - [`extract`] — OSN account, sensitive-field and credit extraction.
+//! - [`core`] — the end-to-end measurement pipeline, analyses and reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use doxing_repro::core::study::{Study, StudyConfig};
+//!
+//! // A miniature end-to-end run of the paper's measurement study.
+//! let cfg = StudyConfig::test_scale();
+//! let report = Study::new(cfg).run();
+//! assert!(report.pipeline.total > 0);
+//! ```
+
+pub use dox_core as core;
+pub use dox_extract as extract;
+pub use dox_geo as geo;
+pub use dox_ml as ml;
+pub use dox_osn as osn;
+pub use dox_sites as sites;
+pub use dox_synth as synth;
+pub use dox_textkit as textkit;

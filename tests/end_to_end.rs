@@ -1,0 +1,200 @@
+//! End-to-end integration: the full study across every crate, checked for
+//! internal consistency.
+
+use doxing_repro::core::report;
+use doxing_repro::core::study::{ExperimentReport, Study, StudyConfig};
+use doxing_repro::osn::network::Network;
+use std::sync::OnceLock;
+
+/// One shared run per test binary (the study is deterministic).
+fn report() -> &'static ExperimentReport {
+    static R: OnceLock<ExperimentReport> = OnceLock::new();
+    R.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+}
+
+#[test]
+fn funnel_is_internally_consistent() {
+    let r = report();
+    // Figure 1: totals add up across periods and sources.
+    assert_eq!(
+        r.pipeline.total,
+        r.pipeline.per_period[0] + r.pipeline.per_period[1]
+    );
+    assert_eq!(
+        r.pipeline.total,
+        r.pipeline.per_source.values().sum::<u64>()
+    );
+    // Dox funnel: classified ≥ unique ≥ 0; duplicates split correctly.
+    assert!(r.pipeline.classified_dox >= r.pipeline.unique_doxes());
+    assert_eq!(
+        r.pipeline.classified_dox - r.pipeline.unique_doxes(),
+        r.pipeline.exact_duplicates + r.pipeline.account_set_duplicates
+    );
+}
+
+#[test]
+fn table4_rows_are_consistent_with_funnel() {
+    let r = report();
+    for period in [1u8, 2] {
+        let i = usize::from(period - 1);
+        assert!(r.pipeline.dox_per_period[i] <= r.pipeline.per_period[i]);
+        assert!(r.pipeline.unique_in_period(period) <= r.pipeline.dox_per_period[i]);
+        assert!(r.labeled_per_period[i] as u64 <= r.pipeline.dox_per_period[i]);
+    }
+}
+
+#[test]
+fn detection_matches_ground_truth_shape() {
+    let r = report();
+    let (tp, fp) = r.detection;
+    assert!(tp > 0, "pipeline must find doxes");
+    // True positives cannot exceed generated doxes.
+    assert!(tp <= r.truth_total_doxes);
+    // Precision well above coin-flip (paper: 0.81).
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    assert!(precision > 0.6, "precision {precision}");
+    // Recall in a sane band (paper: 0.89).
+    let recall = tp as f64 / r.truth_total_doxes as f64;
+    assert!(recall > 0.7, "recall {recall}");
+}
+
+#[test]
+fn classifier_report_shape_matches_paper() {
+    let r = report();
+    // Table 1: the "Not" class outperforms the rare "Dox" class.
+    assert!(r.classifier.report.not.f1 >= r.classifier.report.dox.f1);
+    assert!(r.classifier.report.dox.f1 > 0.7);
+    assert_eq!(
+        r.classifier.report.dox.support + r.classifier.report.not.support,
+        r.classifier.split_sizes.1
+    );
+}
+
+#[test]
+fn extractor_accuracy_table_is_complete() {
+    let r = report();
+    use doxing_repro::extract::accuracy::Field;
+    for field in Field::ALL {
+        let s = &r.extractor.scores[&field];
+        assert_eq!(s.total, 125, "{field:?} scored over the 125-dox sample");
+        assert!(s.correct <= s.total);
+        assert!(s.present <= s.total);
+    }
+    // Table 2 shape: network extraction beats free-form name extraction.
+    let insta = r.extractor.scores[&Field::Instagram].accuracy();
+    assert!(insta > 0.8, "Instagram extraction accuracy {insta}");
+}
+
+#[test]
+fn monitored_accounts_resolve_only_on_profile_networks() {
+    let r = report();
+    assert!(!r.monitored_per_network.contains_key(&Network::Skype));
+    let total: usize = r.monitored_per_network.values().sum();
+    assert!(total > 0);
+}
+
+#[test]
+fn osn_presence_is_bounded_by_dox_count() {
+    let r = report();
+    for net in Network::ALL {
+        assert!(r.osn_presence.count(net) <= r.osn_presence.total_doxes);
+    }
+    assert_eq!(
+        r.osn_presence.total_doxes as u64,
+        r.pipeline.classified_dox
+    );
+}
+
+#[test]
+fn labeled_analyses_agree_on_sample_size() {
+    let r = report();
+    let n = r.labeled_per_period[0] + r.labeled_per_period[1];
+    assert_eq!(r.demographics.total, n);
+    assert_eq!(r.content.total, n);
+    assert_eq!(r.community.total, n);
+    assert_eq!(r.motivation.total, n);
+}
+
+#[test]
+fn demographics_within_generator_bands() {
+    let r = report();
+    let d = &r.demographics;
+    // Table 5 bands (loose: the labeled sample is small at test scale).
+    assert!(d.min_age >= 10);
+    assert!(d.max_age <= 74);
+    assert!(d.mean_age > 15.0 && d.mean_age < 30.0, "mean age {}", d.mean_age);
+    assert!(d.male > d.female, "male share dominates (Table 5)");
+    assert!(d.primary_country > 0.4, "USA share {}", d.primary_country);
+}
+
+#[test]
+fn content_table_orderings_match_table6() {
+    let r = report();
+    let frac = |label: &str| r.content.row(label).expect(label).fraction;
+    // Address is the most common category; SSN among the rarest.
+    assert!(frac("Address (any)") > 0.7);
+    assert!(frac("Address (any)") >= frac("Address (zip)"));
+    assert!(frac("Phone Number") > frac("Social Security #"));
+    assert!(frac("IP Address") > frac("Criminal Records"));
+}
+
+#[test]
+fn motivations_justice_and_revenge_dominate() {
+    let r = report();
+    // Table 8: justice > revenge > competitive/political.
+    assert!(r.motivation.justice + r.motivation.revenge >= r.motivation.competitive);
+    assert!(r.motivation.with_motivation() <= r.motivation.total);
+    let share = r.motivation.fraction(r.motivation.with_motivation());
+    assert!(share > 0.1 && share < 0.5, "motivation share {share}");
+}
+
+#[test]
+fn ip_validation_mostly_consistent() {
+    let r = report();
+    let v = &r.ip_validation;
+    assert!(v.sampled > 0);
+    assert!(v.with_both <= v.sampled);
+    if v.with_both >= 10 {
+        // §4.1 shape: the overwhelming majority are same-state matches.
+        let close = v.summary.close_or_exact() as f64 / v.with_both as f64;
+        assert!(close > 0.6, "close share {close} of {}", v.with_both);
+    }
+}
+
+#[test]
+fn active_control_is_a_subset_with_hotter_churn_rate() {
+    let r = report();
+    let all = &r.control_row;
+    let active = &r.control_row_active;
+    assert!(active.total <= all.total);
+    assert!(active.total > 0, "some control accounts are active");
+    assert!(active.any_change <= all.any_change);
+    // The §6.2.1 point: conditioning on activity can only raise (or keep)
+    // the churn *rate*; with zero observed changes both are zero.
+    if all.any_change > 0 {
+        assert!(
+            active.frac_any_change() >= all.frac_any_change() * 0.5,
+            "active rate should not collapse: {active:?} vs {all:?}"
+        );
+    }
+}
+
+#[test]
+fn comments_have_no_cross_account_commenters() {
+    let r = report();
+    assert_eq!(r.comments.cross_account_commenters, 0);
+    assert!(r.comments.distinct_commenters <= r.comments.total_comments);
+}
+
+#[test]
+fn full_report_renders_and_serializes() {
+    let r = report();
+    let text = report::full_report(r);
+    assert!(text.len() > 2000, "report should be substantial");
+    let json = report::to_json(r);
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(
+        parsed["pipeline"]["total"].as_u64(),
+        Some(r.pipeline.total)
+    );
+}

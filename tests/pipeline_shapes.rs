@@ -1,0 +1,183 @@
+//! Shape tests: scale-invariant qualitative findings of the paper, checked
+//! against a moderately scaled run (8 % of the paper's corpus — ~140k
+//! documents, a few seconds in release mode). Absolute counts differ at
+//! this scale; who-wins orderings must not.
+
+use doxing_repro::core::study::{ExperimentReport, Study, StudyConfig};
+use doxing_repro::osn::network::Network;
+use std::sync::OnceLock;
+
+fn report() -> &'static ExperimentReport {
+    static R: OnceLock<ExperimentReport> = OnceLock::new();
+    R.get_or_init(|| Study::new(StudyConfig::at_scale(0.08)).run())
+}
+
+#[test]
+fn finding_share_of_doxes_is_around_a_third_percent() {
+    // "approximately 0.3% of shared files are doxes"
+    let r = report();
+    let share = r.pipeline.classified_dox as f64 / r.pipeline.total as f64;
+    assert!(
+        (0.001..0.01).contains(&share),
+        "dox share of stream = {share}"
+    );
+}
+
+#[test]
+fn finding_duplicate_share_matches_section_314() {
+    // §3.1.4: 18.1 % of detected doxes duplicate an earlier dox; exact
+    // reposts are the smaller slice.
+    let r = report();
+    let dups = r.pipeline.exact_duplicates + r.pipeline.account_set_duplicates;
+    let share = dups as f64 / r.pipeline.classified_dox.max(1) as f64;
+    assert!((0.06..0.30).contains(&share), "duplicate share {share}");
+    assert!(
+        r.pipeline.account_set_duplicates >= r.pipeline.exact_duplicates,
+        "near-duplicates outnumber exact reposts (788 vs 214 in the paper)"
+    );
+}
+
+#[test]
+fn finding_facebook_most_referenced_network() {
+    // Table 9: Facebook leads every other network.
+    let r = report();
+    let fb = r.osn_presence.count(Network::Facebook);
+    for net in [
+        Network::GooglePlus,
+        Network::Twitter,
+        Network::Instagram,
+        Network::YouTube,
+        Network::Twitch,
+    ] {
+        assert!(
+            fb >= r.osn_presence.count(net),
+            "{net} outnumbers Facebook"
+        );
+    }
+    assert!(fb > 0);
+}
+
+#[test]
+fn finding_doxes_deleted_more_often() {
+    // Table 3: dox-labeled pastes are deleted ~3x as often within a month.
+    let r = report();
+    assert!(r.deletion.dox_total >= 20, "need a usable dox sample");
+    assert!(
+        r.deletion.dox_rate() > r.deletion.other_rate(),
+        "dox {} vs other {}",
+        r.deletion.dox_rate(),
+        r.deletion.other_rate()
+    );
+}
+
+#[test]
+fn finding_doxed_accounts_close_more_than_control() {
+    // §6.2.2: doxed accounts are dramatically more likely to change.
+    let r = report();
+    let mut doxed_changed = 0usize;
+    let mut doxed_total = 0usize;
+    for row in r.status_changes.rows.values() {
+        doxed_changed += row.any_change;
+        doxed_total += row.total;
+    }
+    assert!(doxed_total >= 20, "monitored accounts {doxed_total}");
+    let doxed_rate = doxed_changed as f64 / doxed_total as f64;
+    let control_rate = r.control_row.frac_any_change();
+    assert!(
+        doxed_rate > control_rate,
+        "doxed {doxed_rate} vs control {control_rate}"
+    );
+    assert!(doxed_rate > 0.05, "doxed accounts do react: {doxed_rate}");
+}
+
+#[test]
+fn finding_males_doxed_more_than_females() {
+    // Table 5 headline: dox files target males more frequently.
+    let r = report();
+    assert!(r.demographics.male > r.demographics.female);
+    assert!(r.demographics.male > 0.6);
+}
+
+#[test]
+fn finding_justice_and_revenge_most_cited() {
+    // Table 8 headline: justice and revenge are the most cited motives.
+    let r = report();
+    let m = &r.motivation;
+    assert!(m.justice >= m.competitive);
+    assert!(m.justice >= m.political);
+    assert!(m.revenge >= m.competitive);
+    assert!(m.revenge >= m.political);
+}
+
+#[test]
+fn finding_gamers_largest_community() {
+    // Table 7: gamer is the largest categorized community.
+    let r = report();
+    assert!(r.community.gamer >= r.community.hacker);
+    assert!(r.community.gamer >= r.community.celebrity);
+}
+
+#[test]
+fn finding_filters_reduced_reactions() {
+    // §6.3: pre-filter reaction rates exceed post-filter rates for
+    // Facebook + Instagram pooled (pool to damp small-sample noise).
+    let r = report();
+    let get = |label: &str| r.status_changes.rows.get(label);
+    let (mut pre_changed, mut pre_total) = (0usize, 0usize);
+    let (mut post_changed, mut post_total) = (0usize, 0usize);
+    for net in ["Facebook", "Instagram"] {
+        if let Some(row) = get(&format!("{net} Doxed (pre filter)")) {
+            pre_changed += row.any_change;
+            pre_total += row.total;
+        }
+        if let Some(row) = get(&format!("{net} Doxed (post filter)")) {
+            post_changed += row.any_change;
+            post_total += row.total;
+        }
+    }
+    if pre_total >= 15 && post_total >= 15 {
+        let pre = pre_changed as f64 / pre_total as f64;
+        let post = post_changed as f64 / post_total as f64;
+        assert!(
+            pre >= post,
+            "filters should reduce reactions: pre {pre} vs post {post}"
+        );
+    }
+}
+
+#[test]
+fn finding_reactions_land_within_a_week() {
+    // §6.3: 90.6 % of more-private changes within 7 days.
+    let r = report();
+    if r.reaction_timing.total >= 5 {
+        assert!(
+            r.reaction_timing.frac_within_week() > 0.6,
+            "within-week {}",
+            r.reaction_timing.frac_within_week()
+        );
+    }
+}
+
+#[test]
+fn finding_doxer_cliques_exist() {
+    // Figure 2: doxers operate in teams; cliques of ≥4 exist and the
+    // biggest is bounded by the generated team structure (11).
+    let r = report();
+    let d = &r.doxer_network;
+    assert!(d.total_doxers > 0, "credits must surface doxers");
+    assert!(d.max_clique <= 11);
+    assert!(d.with_twitter <= d.total_doxers);
+    assert!(d.in_big_cliques <= d.total_doxers);
+}
+
+#[test]
+fn finding_ip_validation_mostly_close() {
+    // §4.1: 32/36 close, of which 4 exact; few adjacent/far.
+    let r = report();
+    let v = &r.ip_validation;
+    if v.with_both >= 15 {
+        let close = v.summary.close_or_exact() as f64 / v.with_both as f64;
+        assert!(close > 0.7, "close share {close}");
+        assert!(v.summary.exact <= v.summary.close_or_exact());
+    }
+}
