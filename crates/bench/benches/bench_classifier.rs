@@ -15,18 +15,21 @@ use dox_textkit::tfidf::{TfidfConfig, TfidfVectorizer};
 use std::hint::black_box;
 
 fn quality_note(name: &str, report: &ClassificationReport) {
-    eprintln!(
-        "[table1:{name}] dox P={:.2} R={:.2} F1={:.2} | not P={:.2} R={:.2} F1={:.2}",
-        report.dox.precision,
-        report.dox.recall,
-        report.dox.f1,
-        report.not.precision,
-        report.not.recall,
-        report.not.f1,
+    dox_obs::emit!(
+        dox_obs::Level::Info,
+        "bench.table1",
+        name,
+        dox_p = format!("{:.2}", report.dox.precision),
+        dox_r = format!("{:.2}", report.dox.recall),
+        dox_f1 = format!("{:.2}", report.dox.f1),
+        not_p = format!("{:.2}", report.not.precision),
+        not_r = format!("{:.2}", report.not.recall),
+        not_f1 = format!("{:.2}", report.not.f1),
     );
 }
 
 fn bench_training(c: &mut Criterion) {
+    dox_obs::global().events().set_echo(true);
     let fixture = BenchFixture::new();
     let (texts, labels) = fixture.training_sets(0.05);
 
@@ -83,10 +86,7 @@ fn bench_training(c: &mut Criterion) {
     let kw = KeywordBaseline::default();
     group.bench_function("keyword_baseline_predict", |b| {
         b.iter(|| {
-            let hits = texts
-                .iter()
-                .filter(|t| kw.predict(black_box(t)))
-                .count();
+            let hits = texts.iter().filter(|t| kw.predict(black_box(t))).count();
             black_box(hits)
         })
     });

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dox_core::analysis::doxnet::{maximal_cliques, summarize, DoxerGraph};
+use dox_obs::Level;
 use dox_synth::doxers::DoxerPopulation;
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -31,6 +32,7 @@ fn population_graph(pop: &DoxerPopulation) -> DoxerGraph {
 }
 
 fn bench_cliques(c: &mut Criterion) {
+    dox_obs::global().events().set_echo(true);
     let mut group = c.benchmark_group("doxnet");
     for scale in [0.25, 0.5, 1.0] {
         let pop = DoxerPopulation::generate(1, scale);
@@ -46,9 +48,14 @@ fn bench_cliques(c: &mut Criterion) {
     // Figure 2's caption numbers at paper scale.
     let pop = DoxerPopulation::paper(1);
     let s = summarize(&population_graph(&pop));
-    eprintln!(
-        "[fig2] doxers {} with-twitter {} in-big-cliques {} max-clique {}",
-        s.total_doxers, s.with_twitter, s.in_big_cliques, s.max_clique
+    dox_obs::emit!(
+        Level::Info,
+        "bench.fig2",
+        "doxer-network caption numbers",
+        doxers = s.total_doxers,
+        with_twitter = s.with_twitter,
+        in_big_cliques = s.in_big_cliques,
+        max_clique = s.max_clique,
     );
 }
 

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dox_bench::BenchFixture;
 use dox_core::dedup::Deduplicator;
 use dox_extract::record::{extract, ExtractedDox};
+use dox_obs::Level;
 use std::hint::black_box;
 
 /// A stream of doxes in which every third document re-posts an earlier one
@@ -29,6 +30,7 @@ fn duplicate_stream(bodies: &[String]) -> Vec<(String, ExtractedDox)> {
 }
 
 fn bench_dedup(c: &mut Criterion) {
+    dox_obs::global().events().set_echo(true);
     let fixture = BenchFixture::new();
     let stream = duplicate_stream(&fixture.dox_bodies(300));
 
@@ -58,12 +60,14 @@ fn bench_dedup(c: &mut Criterion) {
     for (i, (text, rec)) in stream.iter().enumerate() {
         d.check(i as u64, text, rec);
     }
-    eprintln!(
-        "[fig1:dedup] total {} exact {} account-set {} unique {}",
-        d.counts.total,
-        d.counts.exact,
-        d.counts.account_set,
-        d.counts.unique()
+    dox_obs::emit!(
+        Level::Info,
+        "bench.fig1.dedup",
+        "funnel split",
+        total = d.counts.total,
+        exact = d.counts.exact,
+        account_set = d.counts.account_set,
+        unique = d.counts.unique(),
     );
 }
 

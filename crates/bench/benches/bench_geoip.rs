@@ -20,7 +20,9 @@ fn bench_geoip(c: &mut Criterion) {
         .map(|_| {
             let isp = &fixture.alloc.isps()[rng.random_range(0..fixture.alloc.isps().len())];
             let block = &isp.blocks[rng.random_range(0..isp.blocks.len())];
-            block.nth(rng.random_range(0..block.size())).expect("in block")
+            block
+                .nth(rng.random_range(0..block.size()))
+                .expect("in block")
         })
         .collect();
 

@@ -7,11 +7,13 @@ use dox_bench::BenchFixture;
 use dox_core::pipeline::Pipeline;
 use dox_core::study::{Study, StudyConfig};
 use dox_core::training::DoxClassifier;
+use dox_obs::Level;
 use dox_sites::collect::Collector;
 use dox_synth::config::SynthConfig;
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
+    dox_obs::global().events().set_echo(true);
     let fixture = BenchFixture::new();
 
     let mut group = c.benchmark_group("pipeline");
@@ -49,18 +51,22 @@ fn bench_pipeline(c: &mut Criterion) {
     // One full study at a more substantial scale, with its funnel printed
     // (the Figure 1 / Table 4 shape check for `cargo bench` logs).
     let r = Study::new(StudyConfig::at_scale(0.01)).run();
-    eprintln!(
-        "[fig1] docs {} -> dox {} -> unique {} | detection tp={} fp={}",
-        r.pipeline.total,
-        r.pipeline.classified_dox,
-        r.pipeline.unique_doxes(),
-        r.detection.0,
-        r.detection.1
+    dox_obs::emit!(
+        Level::Info,
+        "bench.fig1",
+        "funnel shape check",
+        docs = r.pipeline.total,
+        dox = r.pipeline.classified_dox,
+        unique = r.pipeline.unique_doxes(),
+        detection_tp = r.detection.0,
+        detection_fp = r.detection.1,
     );
-    eprintln!(
-        "[t10] control any-change {:.2}% | doxed-vs-control ratios {:?}",
-        r.control_row.frac_any_change() * 100.0,
-        r.doxed_vs_control
+    dox_obs::emit!(
+        Level::Info,
+        "bench.t10",
+        "behavioural-change shape check",
+        control_any_change_pct = format!("{:.2}", r.control_row.frac_any_change() * 100.0),
+        doxed_vs_control = format!("{:?}", r.doxed_vs_control),
     );
 }
 

@@ -9,11 +9,18 @@
 //!   --table <id>       print one result only: fig1, t1..t10, fig2, fig3,
 //!                      v-ip, v-comments (default: everything)
 //!   --json <path>      also write the machine-readable report
-//!   --quiet            suppress progress notes on stderr
+//!   --metrics <path>   write the observability snapshot (per-stage spans,
+//!                      funnel counters, events) as JSON
+//!   --quiet            suppress progress notes and the profile on stderr
 //! ```
+//!
+//! Wall-clock timings live only in the metrics snapshot and the stderr
+//! profile — never in the `--json` report, which stays byte-identical for
+//! a fixed seed whether or not metrics are collected.
 
 use dox_core::report;
 use dox_core::study::{Study, StudyConfig};
+use dox_obs::{Level, StageSpan};
 use std::process::ExitCode;
 
 struct Args {
@@ -21,6 +28,7 @@ struct Args {
     seed: Option<u64>,
     table: Option<String>,
     json: Option<String>,
+    metrics: Option<String>,
     quiet: bool,
 }
 
@@ -30,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         table: None,
         json: None,
+        metrics: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--table" => args.table = Some(it.next().ok_or("--table needs a value")?),
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a path")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
@@ -64,7 +74,8 @@ const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --seed <u64>     master seed
   --table <id>     fig1 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 fig2 fig3 v-ip v-comments
   --json <path>    write the JSON report
-  --quiet          no progress output";
+  --metrics <path> write the metrics/span snapshot as JSON
+  --quiet          no progress or profile output";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -74,60 +85,85 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let obs = dox_obs::global();
+    obs.events().set_echo(!args.quiet);
 
     let mut config = StudyConfig::at_scale(args.scale);
     if let Some(seed) = args.seed {
         config.seed = seed;
         config.synth.seed = seed;
     }
-    if !args.quiet {
-        eprintln!(
-            "repro: scale {} ({} documents, {} dox postings), seed {:#x}",
-            args.scale,
-            config.synth.total_documents(),
-            config.synth.total_doxes(),
-            config.seed
-        );
-        eprintln!("repro: running the full study…");
-    }
+    dox_obs::emit!(
+        Level::Info,
+        "repro",
+        "starting the full study",
+        scale = args.scale,
+        documents = config.synth.total_documents(),
+        dox_postings = config.synth.total_doxes(),
+        seed = format!("{:#x}", config.seed),
+    );
     let start = std::time::Instant::now();
     let r = Study::new(config).run();
-    if !args.quiet {
-        eprintln!("repro: study completed in {:.1?}", start.elapsed());
-    }
+    dox_obs::emit!(
+        Level::Info,
+        "repro",
+        "study completed",
+        elapsed = format!("{:.1?}", start.elapsed()),
+    );
 
-    let output = match args.table.as_deref() {
-        None => report::full_report(&r),
-        Some("fig1") => report::figure1(&r),
-        Some("t1") => report::table1(&r),
-        Some("t2") => report::table2(&r),
-        Some("t3") => report::table3(&r),
-        Some("t4") => report::table4(&r),
-        Some("t5") => report::table5(&r),
-        Some("t6") => report::table6(&r),
-        Some("t7") => report::table7(&r),
-        Some("t8") => report::table8(&r),
-        Some("t9") => report::table9(&r),
-        Some("t10") => report::table10(&r),
-        Some("fig2") => report::figure2(&r),
-        Some("fig3") => report::figure3(&r),
-        Some("v-ip") => report::validation_ip(&r),
-        Some("v-comments") => report::validation_comments(&r),
-        Some(other) => {
-            eprintln!("error: unknown table {other:?}\n{HELP}");
-            return ExitCode::FAILURE;
+    let output = {
+        let _span = StageSpan::enter(obs, "report.render");
+        match args.table.as_deref() {
+            None => report::full_report(&r),
+            Some("fig1") => report::figure1(&r),
+            Some("t1") => report::table1(&r),
+            Some("t2") => report::table2(&r),
+            Some("t3") => report::table3(&r),
+            Some("t4") => report::table4(&r),
+            Some("t5") => report::table5(&r),
+            Some("t6") => report::table6(&r),
+            Some("t7") => report::table7(&r),
+            Some("t8") => report::table8(&r),
+            Some("t9") => report::table9(&r),
+            Some("t10") => report::table10(&r),
+            Some("fig2") => report::figure2(&r),
+            Some("fig3") => report::figure3(&r),
+            Some("v-ip") => report::validation_ip(&r),
+            Some("v-comments") => report::validation_comments(&r),
+            Some(other) => {
+                eprintln!("error: unknown table {other:?}\n{HELP}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     println!("{output}");
 
     if let Some(path) = args.json {
+        // Deterministic: derived only from (config, seed), never from the
+        // metrics snapshot.
         if let Err(e) = std::fs::write(&path, report::to_json(&r)) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
-        if !args.quiet {
-            eprintln!("repro: JSON report written to {path}");
+        dox_obs::emit!(Level::Info, "repro", "JSON report written", path = path);
+    }
+
+    let snapshot = obs.snapshot();
+    if !args.quiet {
+        eprintln!("\n--- per-stage profile ---\n{}", snapshot.render_table());
+    }
+    if let Some(path) = args.metrics {
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
         }
+        dox_obs::emit!(
+            Level::Info,
+            "repro",
+            "metrics snapshot written",
+            path = path
+        );
     }
     ExitCode::SUCCESS
 }

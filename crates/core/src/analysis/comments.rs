@@ -43,7 +43,10 @@ pub fn analyze_comments(world: &SimOsnWorld, monitor: &mut Monitor) -> CommentAn
         fetched += 1;
         for c in comments {
             total += 1;
-            per_commenter.entry(c.commenter).or_default().insert(account);
+            per_commenter
+                .entry(c.commenter)
+                .or_default()
+                .insert(account);
         }
     }
     let cross = per_commenter.values().filter(|s| s.len() > 1).count();

@@ -34,7 +34,11 @@ pub fn content_breakdown(labeled: &[LabeledDox]) -> ContentBreakdown {
     let row = |label: &'static str, c: usize| CategoryCount {
         label,
         count: c,
-        fraction: if total == 0 { 0.0 } else { c as f64 / total as f64 },
+        fraction: if total == 0 {
+            0.0
+        } else {
+            c as f64 / total as f64
+        },
     };
     let rows = vec![
         row("Address (any)", count(&|l| l.truth.fields.address)),

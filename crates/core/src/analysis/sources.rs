@@ -51,23 +51,19 @@ impl SourceBreakdown {
 }
 
 /// Compute the density table from pipeline state.
-pub fn source_breakdown(
-    counters: &PipelineCounters,
-    detected: &[DetectedDox],
-) -> SourceBreakdown {
+pub fn source_breakdown(counters: &PipelineCounters, detected: &[DetectedDox]) -> SourceBreakdown {
     let mut per_source_dox: BTreeMap<Source, u64> = BTreeMap::new();
     for d in detected {
         *per_source_dox.entry(d.source).or_insert(0) += 1;
     }
     let mut rows = BTreeMap::new();
     for source in Source::ALL {
-        let documents = counters
-            .per_source
-            .get(source.name())
-            .copied()
-            .unwrap_or(0);
+        let documents = counters.per_source.get(source.name()).copied().unwrap_or(0);
         let doxes = per_source_dox.get(&source).copied().unwrap_or(0);
-        rows.insert(source.name().to_string(), SourceDensity { documents, doxes });
+        rows.insert(
+            source.name().to_string(),
+            SourceDensity { documents, doxes },
+        );
     }
     SourceBreakdown { rows }
 }

@@ -99,9 +99,7 @@ pub fn status_change_table(
         let h = h.borrow();
         let network = h.account.network;
         let era = match network {
-            Network::Facebook | Network::Instagram => {
-                Some(filters.era(network, h.first_observed))
-            }
+            Network::Facebook | Network::Instagram => Some(filters.era(network, h.first_observed)),
             _ => None,
         };
         let label = bucket_label(network, era);
@@ -115,10 +113,7 @@ pub fn status_change_table(
 /// more_private_ratio)` as multiples (the paper reports 920 % and
 /// 11,700 % — i.e. ≈ 9.2× and ≈ 117×... expressed as percentage increases
 /// over a small base; we report the raw ratio).
-pub fn doxed_vs_control_ratios(
-    doxed: &StatusChangeRow,
-    control: &StatusChangeRow,
-) -> (f64, f64) {
+pub fn doxed_vs_control_ratios(doxed: &StatusChangeRow, control: &StatusChangeRow) -> (f64, f64) {
     let any = safe_ratio(doxed.frac_any_change(), control.frac_any_change());
     let private = safe_ratio(doxed.frac_more_private(), control.frac_more_private());
     (any, private)
@@ -187,7 +182,7 @@ mod tests {
     #[test]
     fn era_split_for_facebook_and_instagram_only() {
         let filters = FilterSchedule::paper();
-        let histories = vec![
+        let histories = [
             history(Network::Facebook, 1, 5, &[Public, Public]), // pre (day 5 < 22)
             history(Network::Facebook, 2, 160, &[Public, Public]), // post
             history(Network::Instagram, 3, 5, &[Public, Public]),

@@ -135,9 +135,7 @@ impl ReactionTiming {
 /// Note the vantage-point caveat: a change is *observed* at the probe that
 /// first sees it, so the measured delay quantizes to the probe schedule —
 /// the same quantization the paper's numbers carry.
-pub fn reaction_timing<'a>(
-    histories: impl Iterator<Item = &'a AccountHistory>,
-) -> ReactionTiming {
+pub fn reaction_timing<'a>(histories: impl Iterator<Item = &'a AccountHistory>) -> ReactionTiming {
     let mut t = ReactionTiming::default();
     // A change first seen at the day-1 (resp. day-7) probe counts as
     // within 24 h (resp. 7 days); probes carry up to ±6 h of queue jitter,
@@ -191,11 +189,21 @@ mod tests {
     #[test]
     fn panel_selects_changed_accounts_only() {
         let filters = FilterSchedule::paper();
-        let histories = vec![
-            history(Network::Facebook, 1, 5, &[(0, Public), (2, Private), (14, Private)]),
+        let histories = [
+            history(
+                Network::Facebook,
+                1,
+                5,
+                &[(0, Public), (2, Private), (14, Private)],
+            ),
             history(Network::Facebook, 2, 5, &[(0, Public), (14, Public)]),
             // changes, but only after day 14
-            history(Network::Facebook, 3, 5, &[(0, Public), (14, Public), (21, Inactive)]),
+            history(
+                Network::Facebook,
+                3,
+                5,
+                &[(0, Public), (14, Public), (21, Inactive)],
+            ),
             // wrong era
             history(Network::Facebook, 4, 160, &[(0, Public), (1, Private)]),
             // wrong network
@@ -219,7 +227,7 @@ mod tests {
 
     #[test]
     fn reaction_timing_buckets() {
-        let histories = vec![
+        let histories = [
             // more-private at day 0 probe? first probe public, change at day 1
             history(Network::Instagram, 1, 0, &[(0, Public), (1, Private)]),
             history(Network::Instagram, 2, 0, &[(0, Public), (3, Private)]),

@@ -60,10 +60,7 @@ pub fn label_sample(detected: &[DetectedDox], plan: &LabelingPlan, seed: u64) ->
     for (period, frac) in [(1u8, plan.frac_period1), (2u8, plan.frac_period2)] {
         let pool: Vec<&DetectedDox> = detected
             .iter()
-            .filter(|d| {
-                d.period == period
-                    && d.truth.as_ref().is_some_and(|t| !t.stub)
-            })
+            .filter(|d| d.period == period && d.truth.as_ref().is_some_and(|t| !t.stub))
             .collect();
         if pool.is_empty() {
             continue;
@@ -82,7 +79,12 @@ pub fn label_sample(detected: &[DetectedDox], plan: &LabelingPlan, seed: u64) ->
             out.push(LabeledDox {
                 doc_id: d.doc_id,
                 period: d.period,
-                truth: d.truth.as_ref().expect("pool filtered to Some").as_ref().clone(),
+                truth: d
+                    .truth
+                    .as_ref()
+                    .expect("pool filtered to Some")
+                    .as_ref()
+                    .clone(),
             });
         }
     }

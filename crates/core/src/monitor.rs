@@ -12,6 +12,7 @@
 //! [`dox_osn::scraper::Scraper`] — the same restricted vantage point the
 //! paper had.
 
+use dox_obs::{Counter, Histogram, Registry};
 use dox_osn::account::AccountId;
 use dox_osn::clock::{SimDuration, SimTime, MINUTES_PER_DAY};
 use dox_osn::platform::SimOsnWorld;
@@ -98,13 +99,17 @@ impl AccountHistory {
         let cutoff = self.first_observed + SimDuration(day * MINUTES_PER_DAY + MINUTES_PER_DAY - 1);
         self.observations
             .iter()
-            .filter(|o| o.at <= cutoff)
-            .next_back()
+            .rfind(|o| o.at <= cutoff)
             .map(|o| o.status)
     }
 
     /// First and last observed statuses, if any observations exist.
-    pub fn endpoints(&self) -> Option<(dox_osn::account::AccountStatus, dox_osn::account::AccountStatus)> {
+    pub fn endpoints(
+        &self,
+    ) -> Option<(
+        dox_osn::account::AccountStatus,
+        dox_osn::account::AccountStatus,
+    )> {
         Some((
             self.observations.first()?.status,
             self.observations.last()?.status,
@@ -113,7 +118,9 @@ impl AccountHistory {
 
     /// Whether any two consecutive observations differ.
     pub fn any_change(&self) -> bool {
-        self.observations.windows(2).any(|w| w[0].status != w[1].status)
+        self.observations
+            .windows(2)
+            .any(|w| w[0].status != w[1].status)
     }
 
     /// Time of the first observed change to a less-open status, relative
@@ -131,15 +138,27 @@ pub struct Monitor {
     schedule: Schedule,
     scraper: Scraper,
     histories: HashMap<AccountId, AccountHistory>,
+    enrollments: Counter,
+    probes: Counter,
+    round_ns: Histogram,
 }
 
 impl Monitor {
-    /// A monitor with the paper schedule and an unmetered scraper.
+    /// A monitor with the paper schedule and an unmetered scraper,
+    /// instrumented against the process-global metrics registry.
     pub fn new(schedule: Schedule) -> Self {
+        Self::with_registry(schedule, dox_obs::global())
+    }
+
+    /// A monitor recording its scrape metrics into `registry`.
+    pub fn with_registry(schedule: Schedule, registry: &Registry) -> Self {
         Self {
             schedule,
             scraper: Scraper::unlimited(),
             histories: HashMap::new(),
+            enrollments: registry.counter("monitor.enrollments"),
+            probes: registry.counter("monitor.probes"),
+            round_ns: registry.histogram("monitor.scrape_round"),
         }
     }
 
@@ -156,6 +175,8 @@ impl Monitor {
         if self.histories.contains_key(&account) {
             return;
         }
+        let round_start = std::time::Instant::now();
+        self.enrollments.inc();
         let jitter_key = (account.uid << 8) ^ account.network as u64;
         let times = self.schedule.probe_times(observed_at, jitter_key);
         let mut history = AccountHistory {
@@ -164,11 +185,13 @@ impl Monitor {
             observations: Vec::with_capacity(times.len()),
         };
         for t in times {
+            self.probes.inc();
             if let Ok(obs) = self.scraper.probe(world, account, t) {
                 history.observations.push(obs);
             }
         }
         self.histories.insert(account, history);
+        self.round_ns.observe_duration(round_start.elapsed());
     }
 
     /// All histories.

@@ -11,6 +11,7 @@
 use crate::dedup::{Deduplicator, DuplicateKind};
 use crate::training::DoxClassifier;
 use dox_extract::record::{extract, ExtractedDox};
+use dox_obs::{Counter, Histogram, LocalHistogram, Registry};
 use dox_osn::clock::SimTime;
 use dox_sites::collect::CollectedDoc;
 use dox_synth::corpus::Source;
@@ -18,6 +19,7 @@ use dox_synth::truth::DoxTruth;
 use dox_textkit::html::html_to_text;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 /// A document the classifier flagged as a dox.
 #[derive(Debug, Clone)]
@@ -66,15 +68,77 @@ pub struct PipelineCounters {
 }
 
 impl PipelineCounters {
-    /// Unique doxes after dedup.
+    /// Unique doxes after dedup. Saturates at zero: counters assembled
+    /// from partial or merged streams can carry more recorded duplicates
+    /// than classified doxes, and a funnel count must never wrap.
     pub fn unique_doxes(&self) -> u64 {
-        self.classified_dox - self.exact_duplicates - self.account_set_duplicates
+        self.classified_dox
+            .saturating_sub(self.exact_duplicates)
+            .saturating_sub(self.account_set_duplicates)
     }
 
-    /// Unique doxes in one period.
+    /// Unique doxes in one period (saturating, like [`Self::unique_doxes`]).
     pub fn unique_in_period(&self, which: u8) -> u64 {
         let i = usize::from(which - 1);
-        self.dox_per_period[i] - self.duplicates_per_period[i]
+        self.dox_per_period[i].saturating_sub(self.duplicates_per_period[i])
+    }
+}
+
+/// Pre-resolved metric handles for the pipeline's four instrumented
+/// stages (Figure 1 funnel) — resolved once so the per-document hot path
+/// is a handful of relaxed atomic ops.
+#[derive(Clone)]
+struct PipelineMetrics {
+    /// Documents entering the funnel.
+    collected: Counter,
+    /// Documents that went through HTML→text conversion.
+    html_converted: Counter,
+    /// Documents the classifier flagged as doxes.
+    classified_dox: Counter,
+    /// Doxes marked as duplicates by dedup.
+    duplicates: Counter,
+    /// Doxes surviving dedup.
+    unique: Counter,
+    /// Per-document stage durations, nanoseconds.
+    html_convert_ns: Histogram,
+    classify_ns: Histogram,
+    extract_ns: Histogram,
+    dedup_ns: Histogram,
+}
+
+impl PipelineMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        Self {
+            collected: registry.counter("pipeline.funnel.collected"),
+            html_converted: registry.counter("pipeline.funnel.html_converted"),
+            classified_dox: registry.counter("pipeline.funnel.classified_dox"),
+            duplicates: registry.counter("pipeline.funnel.duplicates"),
+            unique: registry.counter("pipeline.funnel.unique"),
+            html_convert_ns: registry.histogram("pipeline.stage.html_convert"),
+            classify_ns: registry.histogram("pipeline.stage.classify"),
+            extract_ns: registry.histogram("pipeline.stage.extract"),
+            dedup_ns: registry.histogram("pipeline.stage.dedup"),
+        }
+    }
+}
+
+/// Per-worker stage timings: workers accumulate locally and merge once
+/// per chunk, so the parallel classify fan-out adds no atomic contention.
+#[derive(Default)]
+struct StageLocal {
+    html_convert: LocalHistogram,
+    classify: LocalHistogram,
+    extract: LocalHistogram,
+    html_converted: u64,
+}
+
+impl StageLocal {
+    fn merge_into(&mut self, metrics: &PipelineMetrics) {
+        self.html_convert.merge_into(&metrics.html_convert_ns);
+        self.classify.merge_into(&metrics.classify_ns);
+        self.extract.merge_into(&metrics.extract_ns);
+        metrics.html_converted.add(self.html_converted);
+        self.html_converted = 0;
     }
 }
 
@@ -83,18 +147,32 @@ impl PipelineCounters {
 type StagedDoc = Option<(String, ExtractedDox)>;
 
 /// The pure (parallelizable) per-document work: HTML conversion,
-/// classification, and — for classified doxes — extraction.
-fn classify_and_extract(classifier: &DoxClassifier, collected: &CollectedDoc) -> StagedDoc {
+/// classification, and — for classified doxes — extraction. Stage timings
+/// land in `timings`; they observe the work without affecting the result.
+fn classify_and_extract(
+    classifier: &DoxClassifier,
+    collected: &CollectedDoc,
+    timings: &mut StageLocal,
+) -> StagedDoc {
     let doc = &collected.doc;
     let text = if doc.source.is_html() {
-        html_to_text(&doc.body)
+        let start = Instant::now();
+        let text = html_to_text(&doc.body);
+        timings.html_convert.record_duration(start.elapsed());
+        timings.html_converted += 1;
+        text
     } else {
         doc.body.clone()
     };
-    if !classifier.is_dox(&text) {
+    let start = Instant::now();
+    let is_dox = classifier.is_dox(&text);
+    timings.classify.record_duration(start.elapsed());
+    if !is_dox {
         return None;
     }
+    let start = Instant::now();
     let extracted = extract(&text);
+    timings.extract.record_duration(start.elapsed());
     Some((text, extracted))
 }
 
@@ -105,23 +183,34 @@ pub struct Pipeline {
     detected: Vec<DetectedDox>,
     dox_ids: HashSet<u64>,
     counters: PipelineCounters,
+    metrics: PipelineMetrics,
 }
 
 impl Pipeline {
-    /// Build a pipeline around a trained classifier.
+    /// Build a pipeline around a trained classifier, instrumented against
+    /// the process-global metrics registry.
     pub fn new(classifier: DoxClassifier) -> Self {
+        Self::with_registry(classifier, dox_obs::global())
+    }
+
+    /// Build a pipeline recording its stage spans and funnel counters
+    /// into `registry` instead of the process-global one.
+    pub fn with_registry(classifier: DoxClassifier, registry: &Registry) -> Self {
         Self {
             classifier,
             dedup: Deduplicator::new(),
             detected: Vec::new(),
             dox_ids: HashSet::new(),
             counters: PipelineCounters::default(),
+            metrics: PipelineMetrics::resolve(registry),
         }
     }
 
     /// Process one collected document from period `period`.
     pub fn process(&mut self, collected: &CollectedDoc, period: u8) {
-        let stage = classify_and_extract(&self.classifier, collected);
+        let mut timings = StageLocal::default();
+        let stage = classify_and_extract(&self.classifier, collected, &mut timings);
+        timings.merge_into(&self.metrics);
         self.reduce(collected, period, stage);
     }
 
@@ -149,15 +238,22 @@ impl Pipeline {
                 .chunks(chunk)
                 .map(|slice| {
                     scope.spawn(move || {
-                        slice
+                        // Each worker times its stages locally; locals are
+                        // merged after the join so the hot loop stays free
+                        // of shared atomic traffic.
+                        let mut timings = StageLocal::default();
+                        let staged = slice
                             .iter()
-                            .map(|c| classify_and_extract(classifier, c))
-                            .collect::<Vec<_>>()
+                            .map(|c| classify_and_extract(classifier, c, &mut timings))
+                            .collect::<Vec<_>>();
+                        (staged, timings)
                     })
                 })
                 .collect();
             for h in handles {
-                staged.push(h.join().expect("pipeline worker panicked"));
+                let (chunk_staged, mut timings) = h.join().expect("pipeline worker panicked");
+                timings.merge_into(&self.metrics);
+                staged.push(chunk_staged);
             }
         });
         for (collected, stage) in batch.iter().zip(staged.into_iter().flatten()) {
@@ -169,6 +265,7 @@ impl Pipeline {
     fn reduce(&mut self, collected: &CollectedDoc, period: u8, stage: StagedDoc) {
         let doc = &collected.doc;
         self.counters.total += 1;
+        self.metrics.collected.inc();
         self.counters.per_period[usize::from(period - 1)] += 1;
         *self
             .counters
@@ -180,17 +277,25 @@ impl Pipeline {
             return;
         };
         self.counters.classified_dox += 1;
+        self.metrics.classified_dox.inc();
         self.counters.dox_per_period[usize::from(period - 1)] += 1;
         self.dox_ids.insert(doc.id);
 
+        let dedup_start = Instant::now();
         let duplicate = self.dedup.check(doc.id, &text, &extracted);
-        if duplicate.is_some() {
+        self.metrics
+            .dedup_ns
+            .observe_duration(dedup_start.elapsed());
+        if let Some((kind, _)) = duplicate {
             self.counters.duplicates_per_period[usize::from(period - 1)] += 1;
-            match duplicate.expect("just checked").0 {
+            self.metrics.duplicates.inc();
+            match kind {
                 DuplicateKind::ExactBody => self.counters.exact_duplicates += 1,
                 DuplicateKind::AccountSet => self.counters.account_set_duplicates += 1,
                 DuplicateKind::Fuzzy => {}
             }
+        } else {
+            self.metrics.unique.inc();
         }
 
         self.detected.push(DetectedDox {
@@ -307,7 +412,11 @@ mod tests {
     #[test]
     fn duplicates_marked_and_counted() {
         let p = run_pipeline();
-        let marked = p.detected().iter().filter(|d| d.duplicate.is_some()).count() as u64;
+        let marked = p
+            .detected()
+            .iter()
+            .filter(|d| d.duplicate.is_some())
+            .count() as u64;
         let counted = p.counters().exact_duplicates + p.counters().account_set_duplicates;
         assert_eq!(marked, counted);
         assert_eq!(
@@ -360,6 +469,61 @@ mod tests {
         let mut p = p;
         p.process_batch(&[], 1, 8);
         assert_eq!(*p.counters(), before);
+    }
+
+    #[test]
+    fn unique_counts_saturate_when_duplicates_exceed_doxes() {
+        // Counters merged from partial streams can record more duplicates
+        // than classified doxes; the funnel arithmetic must clamp at zero
+        // instead of wrapping to ~2^64.
+        let c = PipelineCounters {
+            classified_dox: 3,
+            exact_duplicates: 2,
+            account_set_duplicates: 2,
+            dox_per_period: [1, 2],
+            duplicates_per_period: [4, 0],
+            ..PipelineCounters::default()
+        };
+        assert_eq!(c.unique_doxes(), 0);
+        assert_eq!(c.unique_in_period(1), 0);
+        assert_eq!(c.unique_in_period(2), 2);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_funnel_counters() {
+        let registry = dox_obs::Registry::new();
+        let world = World::generate(&WorldConfig::default(), 71);
+        let alloc = Allocation::generate(&world, &AllocConfig::default(), 71);
+        let mut gen = CorpusGenerator::new(&world, &alloc, SynthConfig::test_scale());
+        let (texts, labels) = gen.training_sets();
+        let (clf, _) = DoxClassifier::train(&texts, &labels, 71);
+        let mut pipeline = Pipeline::with_registry(clf, &registry);
+        let mut collector = Collector::new(71);
+        for period in [1u8, 2] {
+            let mut batch = Vec::new();
+            collector.collect_period(&mut gen, period, &mut |c| batch.push(c));
+            pipeline.process_batch(&batch, period, 4);
+        }
+        let c = pipeline.counters();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pipeline.funnel.collected"], c.total);
+        assert_eq!(
+            snap.counters["pipeline.funnel.classified_dox"],
+            c.classified_dox
+        );
+        assert_eq!(snap.counters["pipeline.funnel.unique"], c.unique_doxes());
+        assert_eq!(
+            snap.counters["pipeline.funnel.classified_dox"]
+                - snap.counters["pipeline.funnel.duplicates"],
+            c.unique_doxes()
+        );
+        // Every classified dox passed through classify, extract and dedup
+        // spans; every document through classify.
+        assert_eq!(snap.spans["pipeline.stage.classify"].count, c.total);
+        assert_eq!(snap.spans["pipeline.stage.extract"].count, c.classified_dox);
+        assert_eq!(snap.spans["pipeline.stage.dedup"].count, c.classified_dox);
+        assert!(snap.spans["pipeline.stage.html_convert"].count > 0);
+        assert!(snap.spans["pipeline.stage.classify"].sum > 0);
     }
 
     #[test]

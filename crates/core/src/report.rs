@@ -97,7 +97,11 @@ pub fn table1(r: &ExperimentReport) -> String {
 /// Table 2: extractor accuracy.
 pub fn table2(r: &ExperimentReport) -> String {
     let mut s = header("Table 2 — extractor accuracy per field");
-    let _ = writeln!(s, "{:<12} {:>18} {:>10}", "Label", "% Doxes Including", "Accuracy");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>18} {:>10}",
+        "Label", "% Doxes Including", "Accuracy"
+    );
     for field in Field::ALL {
         if let Some(score) = r.extractor.scores.get(&field) {
             let _ = writeln!(
@@ -115,7 +119,11 @@ pub fn table2(r: &ExperimentReport) -> String {
 /// Table 3: deletion survey.
 pub fn table3(r: &ExperimentReport) -> String {
     let mut s = header("Table 3 — pastebin deletion within one month (period 1)");
-    let _ = writeln!(s, "{:<8} {:>10} {:>10} {:>10}", "Type", "# Files", "# Deleted", "% Deleted");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>10} {:>10}",
+        "Type", "# Files", "# Deleted", "% Deleted"
+    );
     let _ = writeln!(
         s,
         "{:<8} {:>10} {:>10} {:>10}",
@@ -189,7 +197,13 @@ pub fn table6(r: &ExperimentReport) -> String {
     let mut s = header("Table 6 — sensitive-information categories");
     let _ = writeln!(s, "{:<22} {:>9} {:>10}", "Category", "# Doxes", "% Doxes");
     for row in &r.content.rows {
-        let _ = writeln!(s, "{:<22} {:>9} {:>10}", row.label, row.count, pct(row.fraction));
+        let _ = writeln!(
+            s,
+            "{:<22} {:>9} {:>10}",
+            row.label,
+            row.count,
+            pct(row.fraction)
+        );
     }
     let _ = writeln!(s, "(of {} manually labeled)", r.content.total);
     s
@@ -200,7 +214,11 @@ pub fn table7(r: &ExperimentReport) -> String {
     let c = &r.community;
     let mut s = header("Table 7 — victim communities");
     let _ = writeln!(s, "{:<11} {:>8} {:>10}", "Category", "# Doxes", "% Labeled");
-    for (label, n) in [("Hacker", c.hacker), ("Gamer", c.gamer), ("Celebrity", c.celebrity)] {
+    for (label, n) in [
+        ("Hacker", c.hacker),
+        ("Gamer", c.gamer),
+        ("Celebrity", c.celebrity),
+    ] {
         let _ = writeln!(s, "{:<11} {:>8} {:>10}", label, n, pct(c.fraction(n)));
     }
     let _ = writeln!(
@@ -217,7 +235,11 @@ pub fn table7(r: &ExperimentReport) -> String {
 pub fn table8(r: &ExperimentReport) -> String {
     let m = &r.motivation;
     let mut s = header("Table 8 — stated motivations");
-    let _ = writeln!(s, "{:<13} {:>8} {:>10}", "Motivation", "# Doxes", "% Labeled");
+    let _ = writeln!(
+        s,
+        "{:<13} {:>8} {:>10}",
+        "Motivation", "# Doxes", "% Labeled"
+    );
     for (label, n) in [
         ("Competitive", m.competitive),
         ("Revenge", m.revenge),
@@ -281,7 +303,11 @@ pub fn table10(r: &ExperimentReport) -> String {
         "Account Condition", "% MorePrivate", "% MorePublic", "% AnyChange", "Total"
     );
     status_row(&mut s, "Instagram Default (control)", &r.control_row);
-    status_row(&mut s, "Instagram Default (active only)", &r.control_row_active);
+    status_row(
+        &mut s,
+        "Instagram Default (active only)",
+        &r.control_row_active,
+    );
     for (label, row) in &r.status_changes.rows {
         status_row(&mut s, label, row);
     }
@@ -375,7 +401,11 @@ pub fn validation_comments(r: &ExperimentReport) -> String {
     let mut s = header("§5.3.2 — comments on victims' accounts");
     let _ = writeln!(s, "Comments recorded        : {}", c.total_comments);
     let _ = writeln!(s, "Distinct commenters      : {}", c.distinct_commenters);
-    let _ = writeln!(s, "Cross-account commenters : {}", c.cross_account_commenters);
+    let _ = writeln!(
+        s,
+        "Cross-account commenters : {}",
+        c.cross_account_commenters
+    );
     let _ = writeln!(s, "Accounts fetched         : {}", c.accounts_fetched);
     s
 }
@@ -395,21 +425,8 @@ mod tests {
     fn full_report_contains_every_section() {
         let text = full_report(report());
         for needle in [
-            "Figure 1",
-            "Table 1",
-            "Table 2",
-            "Table 3",
-            "Table 4",
-            "Table 5",
-            "Table 6",
-            "Table 7",
-            "Table 8",
-            "Table 9",
-            "Table 10",
-            "Figure 2",
-            "Figure 3",
-            "§4.1",
-            "§5.3.2",
+            "Figure 1", "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+            "Table 7", "Table 8", "Table 9", "Table 10", "Figure 2", "Figure 3", "§4.1", "§5.3.2",
         ] {
             assert!(text.contains(needle), "missing section {needle}");
         }

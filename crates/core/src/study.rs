@@ -26,9 +26,7 @@ use crate::analysis::sources::{source_breakdown, SourceBreakdown};
 use crate::analysis::status_change::{
     doxed_vs_control_ratios, status_change_table, StatusChangeRow, StatusChangeTable,
 };
-use crate::analysis::timeline::{
-    reaction_timing, timeline_panel, ReactionTiming, TimelinePanel,
-};
+use crate::analysis::timeline::{reaction_timing, timeline_panel, ReactionTiming, TimelinePanel};
 use crate::analysis::validation::{validate_by_ip, DeletionValidation, IpValidation};
 use crate::labeling::{label_sample, LabelingPlan};
 use crate::monitor::{Monitor, Schedule};
@@ -38,6 +36,7 @@ use dox_extract::accuracy::{evaluate_extractor, ExtractorEvaluation};
 use dox_geo::alloc::{AllocConfig, Allocation};
 use dox_geo::geoip::GeoIpDb;
 use dox_geo::model::{World, WorldConfig};
+use dox_obs::{Level, Registry, StageSpan};
 use dox_osn::account::AccountId;
 use dox_osn::clock::{SimDuration, SimTime};
 use dox_osn::filters::{FilterEra, FilterSchedule, StudyPeriods};
@@ -186,12 +185,19 @@ pub struct ExperimentReport {
 /// The study runner.
 pub struct Study {
     config: StudyConfig,
+    registry: Registry,
 }
 
 impl Study {
-    /// Create a study.
+    /// Create a study instrumented against the process-global registry.
     pub fn new(config: StudyConfig) -> Self {
-        Self { config }
+        Self::with_registry(config, dox_obs::global().clone())
+    }
+
+    /// Create a study recording its phase spans, pipeline funnel and
+    /// events into `registry` instead of the process-global one.
+    pub fn with_registry(config: StudyConfig, registry: Registry) -> Self {
+        Self { config, registry }
     }
 
     /// The configuration.
@@ -199,20 +205,41 @@ impl Study {
         &self.config
     }
 
+    /// The metrics registry this study records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Execute the full reproduction.
     pub fn run(&self) -> ExperimentReport {
         let cfg = &self.config;
         let seed = cfg.seed;
+        let obs = &self.registry;
 
         // 1. Synthetic world.
+        let phase = StageSpan::enter(obs, "study.phase.world_gen");
         let world = World::generate(&cfg.world, seed);
         let alloc = Allocation::generate(&world, &cfg.alloc, seed);
         let geoip = GeoIpDb::build(&world, &alloc);
+        drop(phase);
 
         // 2. Labeled data: classifier + extractor evaluation.
+        let phase = StageSpan::enter(obs, "study.phase.training");
         let mut gen = CorpusGenerator::new(&world, &alloc, cfg.synth.clone());
         let (texts, labels) = gen.training_sets();
         let (classifier, classifier_summary) = DoxClassifier::train(&texts, &labels, seed);
+        obs.events().emit(
+            Level::Info,
+            "study",
+            "classifier trained",
+            vec![
+                ("corpus".into(), texts.len().to_string()),
+                (
+                    "dox_f1".into(),
+                    format!("{:.3}", classifier_summary.report.dox.f1),
+                ),
+            ],
+        );
         let extractor_sample: Vec<_> = gen
             .proof_of_work_sample(cfg.extractor_sample)
             .into_iter()
@@ -222,13 +249,17 @@ impl Study {
             })
             .collect();
         let extractor_eval = evaluate_extractor(&extractor_sample);
+        drop(phase);
 
         // 3. Collection + pipeline, recording ground-truth dox events. The
         // pure classify/extract work runs on all cores in day-sized
         // batches; results are bit-identical to sequential processing.
+        let phase = StageSpan::enter(obs, "study.phase.collection");
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        obs.gauge("pipeline.batch.threads")
+            .set(i64::try_from(threads).unwrap_or(i64::MAX));
         const BATCH: usize = 8_192;
-        let mut pipeline = Pipeline::new(classifier);
+        let mut pipeline = Pipeline::with_registry(classifier, obs);
         let mut collector = Collector::new(seed);
         let mut events: Vec<DoxEvent> = Vec::new();
         for period in [1u8, 2] {
@@ -250,8 +281,22 @@ impl Study {
             });
             pipeline.process_batch(&batch, period, threads);
         }
+        obs.events().emit(
+            Level::Info,
+            "study",
+            "collection complete",
+            vec![
+                ("documents".into(), pipeline.counters().total.to_string()),
+                (
+                    "classified_dox".into(),
+                    pipeline.counters().classified_dox.to_string(),
+                ),
+            ],
+        );
+        drop(phase);
 
         // 4. The OSN world.
+        let phase = StageSpan::enter(obs, "study.phase.osn_world");
         let periods = StudyPeriods::paper();
         let filters = FilterSchedule::paper();
         let mut osn = SimOsnWorld::new(seed);
@@ -269,8 +314,7 @@ impl Study {
         }
         for persona in gen.personas() {
             for (network, handle) in &persona.accounts {
-                let resolves =
-                    reg_rng.random_range(0.0..1.0) < cfg.synth.handle_resolution_rate;
+                let resolves = reg_rng.random_range(0.0..1.0) < cfg.synth.handle_resolution_rate;
                 if resolves && osn.resolve(*network, handle).is_none() {
                     osn.register_with_status_mix(
                         *network,
@@ -294,9 +338,11 @@ impl Study {
         for network in Network::MONITORED {
             osn.run_baseline_churn(network, (periods.period1.0, periods.period2.1));
         }
+        drop(phase);
 
         // 5. Monitoring: doxed accounts on the paper schedule.
-        let mut monitor = Monitor::new(cfg.schedule.clone());
+        let phase = StageSpan::enter(obs, "study.phase.monitoring");
+        let mut monitor = Monitor::with_registry(cfg.schedule.clone(), obs);
         let mut monitored_ids: Vec<AccountId> = Vec::new();
         let unique: Vec<&crate::pipeline::DetectedDox> = pipeline.unique_doxes().collect();
         for d in &unique {
@@ -322,7 +368,7 @@ impl Study {
             horizon_days: periods.period2.1.since(periods.period1.0).days(),
             jitter_minutes: 0,
         };
-        let mut control_monitor = Monitor::new(control_schedule);
+        let mut control_monitor = Monitor::with_registry(control_schedule, obs);
         let control_ids = osn.sample_instagram_uids(cfg.control_sample);
         for id in &control_ids {
             control_monitor.enroll_and_probe(&osn, *id, periods.period1.0);
@@ -331,9 +377,7 @@ impl Study {
         let mut control_row_active = StatusChangeRow::default();
         for h in control_monitor.histories() {
             control_row.add(h);
-            let active = osn
-                .account(h.account)
-                .is_some_and(|a| a.is_active());
+            let active = osn.account(h.account).is_some_and(|a| a.is_active());
             if active {
                 control_row_active.add(h);
             }
@@ -342,8 +386,19 @@ impl Study {
         // Comment streams for monitored accounts, then §5.3.2.
         osn.generate_baseline_comments(&monitored_ids, (periods.period1.0, periods.period2.1));
         let comments = analyze_comments(&osn, &mut monitor);
+        obs.events().emit(
+            Level::Info,
+            "study",
+            "monitoring complete",
+            vec![
+                ("accounts".into(), monitor.len().to_string()),
+                ("probes".into(), monitor.requests_made().to_string()),
+            ],
+        );
+        drop(phase);
 
         // 6. Analyses.
+        let phase = StageSpan::enter(obs, "study.phase.analysis");
         let detected = pipeline.detected();
         let labeled = label_sample(detected, &cfg.labeling, seed);
         let labeled_per_period = [
@@ -375,10 +430,30 @@ impl Study {
         let status_changes = status_change_table(monitor.histories(), &filters);
         let histories: Vec<_> = monitor.histories().cloned().collect();
         let timelines = vec![
-            timeline_panel(histories.iter(), Network::Facebook, FilterEra::PreFilter, &filters),
-            timeline_panel(histories.iter(), Network::Facebook, FilterEra::PostFilter, &filters),
-            timeline_panel(histories.iter(), Network::Instagram, FilterEra::PreFilter, &filters),
-            timeline_panel(histories.iter(), Network::Instagram, FilterEra::PostFilter, &filters),
+            timeline_panel(
+                histories.iter(),
+                Network::Facebook,
+                FilterEra::PreFilter,
+                &filters,
+            ),
+            timeline_panel(
+                histories.iter(),
+                Network::Facebook,
+                FilterEra::PostFilter,
+                &filters,
+            ),
+            timeline_panel(
+                histories.iter(),
+                Network::Instagram,
+                FilterEra::PreFilter,
+                &filters,
+            ),
+            timeline_panel(
+                histories.iter(),
+                Network::Instagram,
+                FilterEra::PostFilter,
+                &filters,
+            ),
         ];
         let timing = reaction_timing(histories.iter());
 
@@ -389,7 +464,10 @@ impl Study {
 
         // §6.2.2: Instagram doxed (both eras pooled) vs control.
         let mut ig_doxed = StatusChangeRow::default();
-        for h in histories.iter().filter(|h| h.account.network == Network::Instagram) {
+        for h in histories
+            .iter()
+            .filter(|h| h.account.network == Network::Instagram)
+        {
             ig_doxed.add(h);
         }
         let doxed_vs_control = doxed_vs_control_ratios(&ig_doxed, &control_row);
@@ -402,13 +480,9 @@ impl Study {
             })
             .into();
 
-        let ip_validation = validate_by_ip(
-            detected,
-            &world,
-            &geoip,
-            cfg.ip_validation_sample,
-            seed,
-        );
+        let ip_validation =
+            validate_by_ip(detected, &world, &geoip, cfg.ip_validation_sample, seed);
+        drop(phase);
 
         ExperimentReport {
             pipeline: pipeline.counters().clone(),
@@ -463,7 +537,11 @@ mod tests {
     #[test]
     fn classifier_quality_reasonable() {
         let r = report();
-        assert!(r.classifier.report.dox.f1 > 0.7, "{:?}", r.classifier.report);
+        assert!(
+            r.classifier.report.dox.f1 > 0.7,
+            "{:?}",
+            r.classifier.report
+        );
         let (tp, fp) = r.detection;
         assert!(tp > 0);
         let precision = tp as f64 / (tp + fp).max(1) as f64;
@@ -477,7 +555,11 @@ mod tests {
         assert!(total > 0, "some referenced accounts must resolve");
         // Facebook is the most-referenced network (Table 9) and should be
         // among the most-monitored.
-        let fb = r.monitored_per_network.get(&Network::Facebook).copied().unwrap_or(0);
+        let fb = r
+            .monitored_per_network
+            .get(&Network::Facebook)
+            .copied()
+            .unwrap_or(0);
         assert!(fb > 0);
     }
 
@@ -531,9 +613,7 @@ mod tests {
         // At test scale the dox pool is a handful of files, so the rate
         // comparison is only meaningful with enough deletions to observe;
         // the paper-scale shape (3x) is asserted by the bench harness.
-        if r.deletion.dox_deleted + r.deletion.other_deleted >= 20
-            && r.deletion.dox_total >= 50
-        {
+        if r.deletion.dox_deleted + r.deletion.other_deleted >= 20 && r.deletion.dox_total >= 50 {
             assert!(
                 r.deletion.dox_rate() > r.deletion.other_rate(),
                 "dox {} vs other {}",

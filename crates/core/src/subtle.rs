@@ -201,14 +201,20 @@ mod tests {
     #[test]
     fn wider_margin_trades_fp_for_recall() {
         let f = fixture();
-        let narrow = SubtleDoxDetector::new(&f.classifier, SubtleConfig {
-            margin: 0.1,
-            min_pii_kinds: 2,
-        });
-        let wide = SubtleDoxDetector::new(&f.classifier, SubtleConfig {
-            margin: 2.0,
-            min_pii_kinds: 2,
-        });
+        let narrow = SubtleDoxDetector::new(
+            &f.classifier,
+            SubtleConfig {
+                margin: 0.1,
+                min_pii_kinds: 2,
+            },
+        );
+        let wide = SubtleDoxDetector::new(
+            &f.classifier,
+            SubtleConfig {
+                margin: 2.0,
+                min_pii_kinds: 2,
+            },
+        );
         let (r_narrow, fp_narrow) = recall_fp(&|t| narrow.judge(t).is_dox());
         let (r_wide, fp_wide) = recall_fp(&|t| wide.judge(t).is_dox());
         assert!(r_wide >= r_narrow);

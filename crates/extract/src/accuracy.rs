@@ -218,7 +218,7 @@ fn score_field(
             let present = truth.fields.phone;
             let expected = digits_only(&persona.phone);
             let correct = if present {
-                extracted.fields.phones.iter().any(|p| *p == expected)
+                extracted.fields.phones.contains(&expected)
             } else {
                 extracted.fields.phones.is_empty()
             };
@@ -231,9 +231,7 @@ fn score_field(
 /// Run the full Table 2 protocol: extract from each labeled document and
 /// score. `sample` pairs each dox body (plain text) with its truth and
 /// persona.
-pub fn evaluate_extractor(
-    sample: &[(String, DoxTruth, Persona)],
-) -> ExtractorEvaluation {
+pub fn evaluate_extractor(sample: &[(String, DoxTruth, Persona)]) -> ExtractorEvaluation {
     let mut eval = ExtractorEvaluation::default();
     for (body, truth, persona) in sample {
         let extracted = crate::record::extract(body);

@@ -18,7 +18,13 @@ pub struct Credit {
 }
 
 /// Phrases that open a credit clause.
-const OPENERS: &[&str] = &["dropped by ", "doxed by ", "dox by ", "credit to ", "credits: "];
+const OPENERS: &[&str] = &[
+    "dropped by ",
+    "doxed by ",
+    "dox by ",
+    "credit to ",
+    "credits: ",
+];
 /// Phrases that attach additional parties.
 const CONNECTORS: &[&str] = &[", thanks to ", " thanks to ", " with help from "];
 
@@ -31,9 +37,7 @@ pub fn extract_credits(text: &str) -> Vec<Credit> {
         while let Some(rel) = lower[search..].find(opener) {
             let start = search + rel + opener.len();
             // The clause runs to end-of-line.
-            let end = text[start..]
-                .find('\n')
-                .map_or(text.len(), |e| start + e);
+            let end = text[start..].find('\n').map_or(text.len(), |e| start + e);
             let clause = &text[start..end];
             parse_clause(clause, &mut out);
             search = end.min(lower.len());
@@ -194,7 +198,10 @@ mod tests {
 
     #[test]
     fn alternate_openers() {
-        assert_eq!(extract_credits("doxed by NullFang_3")[0].alias, "NullFang_3");
+        assert_eq!(
+            extract_credits("doxed by NullFang_3")[0].alias,
+            "NullFang_3"
+        );
         assert_eq!(extract_credits("credit to HexWolf_9")[0].alias, "HexWolf_9");
     }
 

@@ -67,7 +67,10 @@ const ALIAS_LABELS: &[&str] = &["known aliases", "aliases", "usernames", "alias"
 pub fn extract_fields(text: &str) -> ExtractedFields {
     let lines = parse_lines(text);
     let mut out = ExtractedFields {
-        ips: find_ipv4_literals(text).into_iter().map(|(_, ip)| ip).collect(),
+        ips: find_ipv4_literals(text)
+            .into_iter()
+            .map(|(_, ip)| ip)
+            .collect(),
         emails: extract_emails(text),
         ssns: extract_ssns(text),
         credit_cards: extract_credit_cards(text),
@@ -83,7 +86,11 @@ pub fn extract_fields(text: &str) -> ExtractedFields {
             out.first_name = words.next().map(capitalize);
             out.last_name = words.next().map(capitalize);
         } else if AGE_LABELS.contains(&label) {
-            out.age = joined.trim().parse::<u8>().ok().filter(|&a| (5..=120).contains(&a));
+            out.age = joined
+                .trim()
+                .parse::<u8>()
+                .ok()
+                .filter(|&a| (5..=120).contains(&a));
         } else if DOB_LABELS.contains(&label) {
             out.dob = parse_dob(&joined);
         } else if ADDRESS_LABELS.contains(&label) {
@@ -161,12 +168,12 @@ pub fn extract_phones(text: &str) -> Vec<String> {
 /// `(matched_len, canonical_digits)`.
 fn match_phone_at(s: &str) -> Option<(usize, String)> {
     // Optional "1-" / "1 " country prefix.
-    let (prefix_len, rest) =
-        if let Some(r) = s.strip_prefix("1-").or_else(|| s.strip_prefix("1 ")) {
-            (2usize, r)
-        } else {
-            (0usize, s)
-        };
+    let (prefix_len, rest) = if let Some(r) = s.strip_prefix("1-").or_else(|| s.strip_prefix("1 "))
+    {
+        (2usize, r)
+    } else {
+        (0usize, s)
+    };
     // Shape A: (ddd) ddd-dddd (space after the area code optional).
     if let Some(r) = rest.strip_prefix('(') {
         let area = take_digits(r, 3)?;
@@ -234,7 +241,9 @@ pub fn extract_credit_cards(text: &str) -> Vec<String> {
     let mut out = Vec::new();
     let words: Vec<&str> = text.split_whitespace().collect();
     for w in words.windows(4) {
-        if w.iter().all(|g| g.len() == 4 && g.bytes().all(|b| b.is_ascii_digit())) {
+        if w.iter()
+            .all(|g| g.len() == 4 && g.bytes().all(|b| b.is_ascii_digit()))
+        {
             out.push(w.join(""));
         }
     }
@@ -289,8 +298,15 @@ pub fn trailing_zip(address: &str) -> Option<u32> {
 fn extract_family(text: &str, lines: &[LabeledLine]) -> Vec<FamilyRef> {
     let mut out = Vec::new();
     const RELATIONS: &[&str] = &[
-        "mother", "father", "brother", "sister", "uncle", "aunt", "grandmother",
-        "grandfather", "cousin",
+        "mother",
+        "father",
+        "brother",
+        "sister",
+        "uncle",
+        "aunt",
+        "grandmother",
+        "grandfather",
+        "cousin",
     ];
     // Block form.
     let mut in_block = false;
@@ -319,7 +335,10 @@ fn extract_family(text: &str, lines: &[LabeledLine]) -> Vec<FamilyRef> {
         for value in &line.values {
             if let Some(open) = value.rfind('(') {
                 let name = value[..open].trim();
-                let rel = value[open + 1..].trim_end_matches(')').trim().to_lowercase();
+                let rel = value[open + 1..]
+                    .trim_end_matches(')')
+                    .trim()
+                    .to_lowercase();
                 if RELATIONS.contains(&rel.as_str()) && !name.is_empty() {
                     out.push((rel, name.to_string()));
                 }
@@ -404,7 +423,10 @@ Known aliases: xX_jaren_Xx, jaren99
     #[test]
     fn ssn_shape_only() {
         assert_eq!(extract_ssns("ssn 912-34-5678 ok"), vec!["912-34-5678"]);
-        assert!(extract_ssns("phone 312-555-0188").is_empty(), "wrong grouping");
+        assert!(
+            extract_ssns("phone 312-555-0188").is_empty(),
+            "wrong grouping"
+        );
         assert!(extract_ssns("date 2016-08-01").is_empty());
     }
 

@@ -83,8 +83,7 @@ pub fn parse_line(line: &str) -> Option<LabeledLine> {
     // short or shouty (an abbreviation), or ordinary prose would match.
     let mut words = line.split_whitespace();
     let first = words.next()?;
-    let abbreviation_like =
-        first.len() <= 4 || first.chars().all(|c| c.is_ascii_uppercase());
+    let abbreviation_like = first.len() <= 4 || first.chars().all(|c| c.is_ascii_uppercase());
     if !abbreviation_like {
         return None;
     }

@@ -59,10 +59,7 @@ fn url_pass(text: &str, found: &mut BTreeSet<OsnRef>) {
                         .collect();
                     let handle = handle.trim_end_matches('.').to_lowercase();
                     if valid_handle(&handle) && !is_path_keyword(&handle) {
-                        found.insert(OsnRef {
-                            network,
-                            handle,
-                        });
+                        found.insert(OsnRef { network, handle });
                     }
                 }
                 rest = &rest[pos + host.len()..];
@@ -75,8 +72,19 @@ fn url_pass(text: &str, found: &mut BTreeSet<OsnRef>) {
 fn is_path_keyword(seg: &str) -> bool {
     matches!(
         seg,
-        "watch" | "channel" | "user" | "profile" | "pages" | "groups" | "search" | "home"
-            | "login" | "share" | "hashtag" | "intent" | "status"
+        "watch"
+            | "channel"
+            | "user"
+            | "profile"
+            | "pages"
+            | "groups"
+            | "search"
+            | "home"
+            | "login"
+            | "share"
+            | "hashtag"
+            | "intent"
+            | "status"
     )
 }
 

@@ -62,11 +62,18 @@ pub struct Allocation {
 }
 
 const ISP_FIRST: &[&str] = &[
-    "Norvik", "Apex", "Cirrus", "Quanta", "Vantage", "Meridian", "Halcyon",
-    "Summit", "Beacon", "Cobalt", "Drift", "Ember",
+    "Norvik", "Apex", "Cirrus", "Quanta", "Vantage", "Meridian", "Halcyon", "Summit", "Beacon",
+    "Cobalt", "Drift", "Ember",
 ];
 const ISP_SECOND: &[&str] = &[
-    "Telecom", "Broadband", "Fiber", "Networks", "Online", "Cable", "Wireless", "Net",
+    "Telecom",
+    "Broadband",
+    "Fiber",
+    "Networks",
+    "Online",
+    "Cable",
+    "Wireless",
+    "Net",
 ];
 
 impl Allocation {

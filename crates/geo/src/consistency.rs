@@ -147,7 +147,12 @@ mod tests {
     #[test]
     fn same_state_is_close_or_exact() {
         let f = fixture();
-        let c = classify_pair(&f.world, &f.db, ip_in_state(&f, 0), &address_in_state(&f, 0));
+        let c = classify_pair(
+            &f.world,
+            &f.db,
+            ip_in_state(&f, 0),
+            &address_in_state(&f, 0),
+        );
         assert!(
             matches!(c, ConsistencyClass::Close | ConsistencyClass::ExactMatch),
             "{c:?}"
@@ -161,7 +166,12 @@ mod tests {
         let s0 = f.world.states()[0].id;
         let s1 = f.world.states()[1].id;
         assert!(f.world.states_adjacent(s0, s1));
-        let c = classify_pair(&f.world, &f.db, ip_in_state(&f, 1), &address_in_state(&f, 0));
+        let c = classify_pair(
+            &f.world,
+            &f.db,
+            ip_in_state(&f, 1),
+            &address_in_state(&f, 0),
+        );
         assert_eq!(c, ConsistencyClass::Adjacent);
     }
 
@@ -169,7 +179,12 @@ mod tests {
     fn other_country_is_far() {
         let f = fixture();
         // state 6 is in the second country (6 states per country)
-        let c = classify_pair(&f.world, &f.db, ip_in_state(&f, 6), &address_in_state(&f, 0));
+        let c = classify_pair(
+            &f.world,
+            &f.db,
+            ip_in_state(&f, 6),
+            &address_in_state(&f, 0),
+        );
         assert_eq!(c, ConsistencyClass::Far);
     }
 
@@ -188,9 +203,8 @@ mod tests {
     #[test]
     fn summary_tallies() {
         use ConsistencyClass::*;
-        let s = ConsistencySummary::from_classes(&[
-            ExactMatch, Close, Close, Adjacent, Far, Far, Far,
-        ]);
+        let s =
+            ConsistencySummary::from_classes(&[ExactMatch, Close, Close, Adjacent, Far, Far, Far]);
         assert_eq!(s.exact, 1);
         assert_eq!(s.close, 2);
         assert_eq!(s.adjacent, 1);

@@ -149,8 +149,8 @@ pub fn find_ipv4_literals(text: &str) -> Vec<(usize, Ipv4Addr)> {
         }
         let token = &text[start..i];
         // Reject if embedded in a larger word (e.g. "v1.2.3.4").
-        let prev_ok = start == 0
-            || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'.');
+        let prev_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'.');
         if !prev_ok {
             continue;
         }
@@ -161,7 +161,7 @@ pub fn find_ipv4_literals(text: &str) -> Vec<(usize, Ipv4Addr)> {
         }
         if !parts
             .iter()
-            .all(|p| !p.is_empty() && p.len() <= 3 && p.parse::<u16>().map_or(false, |v| v <= 255))
+            .all(|p| !p.is_empty() && p.len() <= 3 && p.parse::<u16>().is_ok_and(|v| v <= 255))
         {
             continue;
         }

@@ -106,20 +106,30 @@ pub struct World {
 }
 
 const CITY_PREFIX: &[&str] = &[
-    "Brack", "Hale", "Mor", "Thorn", "Wel", "Ash", "Crow", "Dun", "Els", "Fen",
-    "Gren", "Holt", "Ives", "Kel", "Lun", "Marsh", "Nor", "Oak", "Pell", "Quar",
+    "Brack", "Hale", "Mor", "Thorn", "Wel", "Ash", "Crow", "Dun", "Els", "Fen", "Gren", "Holt",
+    "Ives", "Kel", "Lun", "Marsh", "Nor", "Oak", "Pell", "Quar",
 ];
 const CITY_SUFFIX: &[&str] = &[
     "ford", "ton", "ville", "burg", "haven", "field", "mouth", "wick", "stead", "port",
 ];
 const STATE_FIRST: &[&str] = &[
-    "Kelsia", "Varn", "Orsley", "Tarn", "Quill", "Meridia", "Sorrel", "Baxter",
-    "Corvale", "Denholm", "Ferris", "Garland", "Hollis", "Ingram", "Jessup", "Lorane",
+    "Kelsia", "Varn", "Orsley", "Tarn", "Quill", "Meridia", "Sorrel", "Baxter", "Corvale",
+    "Denholm", "Ferris", "Garland", "Hollis", "Ingram", "Jessup", "Lorane",
 ];
 const STATE_PREFIX: &[&str] = &["North ", "South ", "East ", "West ", "New ", ""];
 const COUNTRY_NAMES: &[&str] = &[
-    "Amerigo", "Varnland", "Ostrea", "Caldonia", "Meridonia", "Tarvos", "Elandria",
-    "Norvik", "Sundara", "Quorria", "Pellandria", "Vostia",
+    "Amerigo",
+    "Varnland",
+    "Ostrea",
+    "Caldonia",
+    "Meridonia",
+    "Tarvos",
+    "Elandria",
+    "Norvik",
+    "Sundara",
+    "Quorria",
+    "Pellandria",
+    "Vostia",
 ];
 
 impl World {
@@ -164,12 +174,11 @@ impl World {
                 let abbrev = {
                     let letters: Vec<char> = sname.chars().filter(|c| c.is_alphabetic()).collect();
                     let a = letters.first().copied().unwrap_or('X');
-                    let b = letters.get(1 + usize::from(state_id.0) % 3).copied().unwrap_or('Y');
-                    format!(
-                        "{}{}",
-                        a.to_ascii_uppercase(),
-                        b.to_ascii_uppercase()
-                    )
+                    let b = letters
+                        .get(1 + usize::from(state_id.0) % 3)
+                        .copied()
+                        .unwrap_or('Y');
+                    format!("{}{}", a.to_ascii_uppercase(), b.to_ascii_uppercase())
                 };
                 let mut city_ids = Vec::new();
                 for k in 0..config.cities_per_state {
@@ -285,7 +294,10 @@ impl World {
     pub fn city_by_name_in_state(&self, name: &str, state_abbrev: &str) -> Option<&City> {
         self.cities.iter().find(|c| {
             c.name.eq_ignore_ascii_case(name)
-                && self.state(c.state).abbrev.eq_ignore_ascii_case(state_abbrev)
+                && self
+                    .state(c.state)
+                    .abbrev
+                    .eq_ignore_ascii_case(state_abbrev)
         })
     }
 

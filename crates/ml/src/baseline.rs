@@ -30,17 +30,36 @@ impl Default for KeywordBaseline {
 }
 
 /// Indicator terms; all lowercase, matched against tokenized text.
-const TOKEN_INDICATORS: &[&str] = &[
-    "dox", "doxed", "doxx", "doxxed", "d0x", "swat", "swatted",
-];
+const TOKEN_INDICATORS: &[&str] = &["dox", "doxed", "doxx", "doxxed", "d0x", "swat", "swatted"];
 
 /// Labeled-field indicators; matched as substrings of the lowercased text.
 const PHRASE_INDICATORS: &[&str] = &[
-    "full name", "real name", "name:", "address:", "addy:", "phone:",
-    "phone number", "date of birth", "dob:", "zip:", "zipcode", "ip:",
-    "ip address", "isp:", "ssn", "social security", "mother's name",
-    "father's name", "skype:", "facebook:", "twitter:", "instagram:",
-    "school:", "dropped by", "get rekt", "have fun",
+    "full name",
+    "real name",
+    "name:",
+    "address:",
+    "addy:",
+    "phone:",
+    "phone number",
+    "date of birth",
+    "dob:",
+    "zip:",
+    "zipcode",
+    "ip:",
+    "ip address",
+    "isp:",
+    "ssn",
+    "social security",
+    "mother's name",
+    "father's name",
+    "skype:",
+    "facebook:",
+    "twitter:",
+    "instagram:",
+    "school:",
+    "dropped by",
+    "get rekt",
+    "have fun",
 ];
 
 impl KeywordBaseline {
@@ -89,7 +108,11 @@ impl MultinomialNb {
     /// Panics on empty input, length mismatch, or non-positive `alpha`.
     pub fn fit(n_features: usize, samples: &[SparseVec], labels: &[bool], alpha: f64) -> Self {
         assert!(!samples.is_empty(), "cannot fit on an empty training set");
-        assert_eq!(samples.len(), labels.len(), "samples/labels length mismatch");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
         assert!(alpha > 0.0, "smoothing alpha must be positive");
 
         let mut count_pos = vec![0.0f64; n_features];

@@ -315,13 +315,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "no samples")]
     fn empty_corpus_panics() {
-        evaluate_classifier::<&str>(
-            &[],
-            &[],
-            0.5,
-            0,
-            SgdConfig::paper(),
-            TfidfConfig::default(),
-        );
+        evaluate_classifier::<&str>(&[], &[], 0.5, 0, SgdConfig::paper(), TfidfConfig::default());
     }
 }

@@ -123,7 +123,11 @@ impl SgdClassifier {
         samples: &[SparseVec],
         labels: &[bool],
     ) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples/labels length mismatch");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples/labels length mismatch"
+        );
         assert!(!samples.is_empty(), "cannot fit on an empty training set");
 
         let mut w = vec![0.0f64; n_features];

@@ -159,7 +159,7 @@ mod tests {
     fn kfold_covers_each_sample_once_as_test() {
         let folds = kfold(23, 5, 3);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 23);
             for &i in test {

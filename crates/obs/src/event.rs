@@ -1,0 +1,195 @@
+//! Ring-buffered structured events.
+//!
+//! Each event carries a level, a target (the subsystem emitting it), a
+//! message, and key/value fields. The log keeps the most recent
+//! [`EventLog::capacity`] events for snapshots; echoing to stderr is a
+//! runtime toggle so `--quiet` is a single call rather than an `if` at
+//! every call site.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Level {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal progress notes.
+    Info,
+    /// Something odd but recoverable.
+    Warn,
+    /// A failure the caller will surface.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        })
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Event {
+    /// Monotonic sequence number (process-order of emission).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem, e.g. `"study"` or `"repro"`.
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:<5} {}] {}", self.level, self.target, self.message)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The ring buffer of recent events.
+#[derive(Debug)]
+pub struct EventLog {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    seq: AtomicU64,
+    echo: AtomicBool,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(1024)
+    }
+}
+
+impl EventLog {
+    /// A log retaining the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            echo: AtomicBool::new(false),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Turn stderr echoing on or off (off by default; `--quiet` keeps it
+    /// off, interactive tools turn it on).
+    pub fn set_echo(&self, echo: bool) {
+        self.echo.store(echo, Ordering::Relaxed);
+    }
+
+    /// Whether events are echoed to stderr.
+    pub fn echo(&self) -> bool {
+        self.echo.load(Ordering::Relaxed)
+    }
+
+    /// Record an event; echoes to stderr when enabled.
+    pub fn emit(
+        &self,
+        level: Level,
+        target: &str,
+        message: impl Into<String>,
+        fields: Vec<(String, String)>,
+    ) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            level,
+            target: target.to_string(),
+            message: message.into(),
+            fields,
+        };
+        if self.echo() {
+            eprintln!("{event}");
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total events ever emitted (including ones the ring dropped).
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_newest() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.emit(Level::Info, "t", format!("m{i}"), vec![]);
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].message, "m2");
+        assert_eq!(recent[2].message, "m4");
+        assert_eq!(recent[2].seq, 4);
+        assert_eq!(log.emitted(), 5);
+    }
+
+    #[test]
+    fn display_includes_fields() {
+        let e = Event {
+            seq: 0,
+            level: Level::Warn,
+            target: "pipeline".into(),
+            message: "slow stage".into(),
+            fields: vec![
+                ("stage".into(), "classify".into()),
+                ("ms".into(), "91".into()),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("WARN"), "{s}");
+        assert!(s.contains("pipeline"), "{s}");
+        assert!(s.contains("stage=classify"), "{s}");
+        assert!(s.contains("ms=91"), "{s}");
+    }
+
+    #[test]
+    fn echo_toggle_round_trips() {
+        let log = EventLog::default();
+        assert!(!log.echo());
+        log.set_echo(true);
+        assert!(log.echo());
+        log.set_echo(false);
+        assert!(!log.echo());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+}

@@ -274,8 +274,7 @@ impl BehaviorModel {
         match start {
             AccountStatus::Public => {
                 if u < go_private {
-                    let closes =
-                        rng.random_range(0.0..1.0) < rates.close_share || !has_private;
+                    let closes = rng.random_range(0.0..1.0) < rates.close_share || !has_private;
                     let to = if closes {
                         AccountStatus::Inactive
                     } else {
@@ -330,13 +329,12 @@ impl BehaviorModel {
         match start {
             AccountStatus::Public => {
                 if u < go_private {
-                    let to = if rng.random_range(0.0..1.0) < self.baseline.close_share
-                        || !has_private
-                    {
-                        AccountStatus::Inactive
-                    } else {
-                        AccountStatus::Private
-                    };
+                    let to =
+                        if rng.random_range(0.0..1.0) < self.baseline.close_share || !has_private {
+                            AccountStatus::Inactive
+                        } else {
+                            AccountStatus::Private
+                        };
                     account.push_transition(at, to);
                 }
             }

@@ -110,7 +110,11 @@ impl StudyPeriods {
 
     /// Duration of a period in days.
     pub fn period_days(&self, which: u8) -> u64 {
-        let (s, e) = if which == 1 { self.period1 } else { self.period2 };
+        let (s, e) = if which == 1 {
+            self.period1
+        } else {
+            self.period2
+        };
         e.since(s).days()
     }
 }
@@ -125,10 +129,7 @@ mod tests {
         let p = StudyPeriods::paper();
         // During period 1 collection, Instagram filtering was not yet live
         // for doxes observed early in the period...
-        assert_eq!(
-            s.era(Network::Instagram, p.period1.0),
-            FilterEra::PreFilter
-        );
+        assert_eq!(s.era(Network::Instagram, p.period1.0), FilterEra::PreFilter);
         // ...and by period 2 both networks are post-filter.
         assert_eq!(
             s.era(Network::Instagram, p.period2.0),

@@ -67,7 +67,12 @@ impl Network {
     /// URL hostnames whose paths contain profile handles.
     pub fn url_hosts(self) -> &'static [&'static str] {
         match self {
-            Network::Facebook => &["facebook.com", "www.facebook.com", "fb.me", "m.facebook.com"],
+            Network::Facebook => &[
+                "facebook.com",
+                "www.facebook.com",
+                "fb.me",
+                "m.facebook.com",
+            ],
             Network::GooglePlus => &["plus.google.com"],
             Network::Twitter => &["twitter.com", "www.twitter.com", "mobile.twitter.com"],
             Network::Instagram => &["instagram.com", "www.instagram.com"],
@@ -101,12 +106,9 @@ impl Network {
     /// Parse from any known alias or display name (case-insensitive).
     pub fn parse(text: &str) -> Option<Network> {
         let t = text.trim().to_lowercase();
-        for n in Network::ALL {
-            if n.name().to_lowercase() == t || n.label_aliases().contains(&t.as_str()) {
-                return Some(n);
-            }
-        }
-        None
+        Network::ALL
+            .into_iter()
+            .find(|&n| n.name().to_lowercase() == t || n.label_aliases().contains(&t.as_str()))
     }
 }
 

@@ -212,7 +212,10 @@ impl SimOsnWorld {
             self.behavior.filters.era(id.network, time),
             crate::filters::FilterEra::PostFilter
         );
-        let reg = self.registries.get_mut(&id.network).expect("network present");
+        let reg = self
+            .registries
+            .get_mut(&id.network)
+            .expect("network present");
         if let Some(account) = reg.get_mut(id.uid) {
             self.behavior
                 .apply_dox_reaction(account, time, &mut self.rng);
@@ -292,19 +295,44 @@ mod tests {
     #[test]
     fn uids_monotonic() {
         let mut w = SimOsnWorld::new(1);
-        let a = w.register(Network::Instagram, "alpha", SimTime::EPOCH, AccountStatus::Public);
-        let b = w.register(Network::Instagram, "beta", SimTime::EPOCH, AccountStatus::Public);
-        let c = w.register(Network::Instagram, "gamma", SimTime::EPOCH, AccountStatus::Public);
+        let a = w.register(
+            Network::Instagram,
+            "alpha",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
+        let b = w.register(
+            Network::Instagram,
+            "beta",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
+        let c = w.register(
+            Network::Instagram,
+            "gamma",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
         assert!(a.uid < b.uid && b.uid < c.uid);
         // Other networks have independent uid spaces.
-        let f = w.register(Network::Facebook, "alpha", SimTime::EPOCH, AccountStatus::Public);
+        let f = w.register(
+            Network::Facebook,
+            "alpha",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
         assert_eq!(f.uid, 0);
     }
 
     #[test]
     fn handle_resolution_case_insensitive() {
         let mut w = SimOsnWorld::new(2);
-        let id = w.register(Network::Twitter, "DoxHunter", SimTime::EPOCH, AccountStatus::Public);
+        let id = w.register(
+            Network::Twitter,
+            "DoxHunter",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
         assert_eq!(w.resolve(Network::Twitter, "doxhunter"), Some(id));
         assert_eq!(w.resolve(Network::Twitter, "DOXHUNTER"), Some(id));
         assert_eq!(w.resolve(Network::Twitter, "nobody"), None);
@@ -315,8 +343,18 @@ mod tests {
     #[should_panic(expected = "already registered")]
     fn duplicate_handle_panics() {
         let mut w = SimOsnWorld::new(3);
-        w.register(Network::Twitter, "dup", SimTime::EPOCH, AccountStatus::Public);
-        w.register(Network::Twitter, "DUP", SimTime::EPOCH, AccountStatus::Public);
+        w.register(
+            Network::Twitter,
+            "dup",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
+        w.register(
+            Network::Twitter,
+            "DUP",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
     }
 
     #[test]
@@ -338,7 +376,10 @@ mod tests {
             .iter()
             .filter(|id| !w.account(**id).unwrap().transitions().is_empty())
             .count();
-        assert!(changed > 30, "pre-filter Instagram should react ~32%: {changed}");
+        assert!(
+            changed > 30,
+            "pre-filter Instagram should react ~32%: {changed}"
+        );
         assert!(!w.comments().is_empty());
     }
 
@@ -416,7 +457,12 @@ mod tests {
         // Lognormal(−0.5, 1): P(X ≥ 0.5) ≈ 0.58 — many accounts idle.
         assert!((0.45..0.72).contains(&active), "active share {active}");
         // Plain `register` leaves the default.
-        let id = w.register(Network::Twitter, "plain", SimTime::EPOCH, AccountStatus::Public);
+        let id = w.register(
+            Network::Twitter,
+            "plain",
+            SimTime::EPOCH,
+            AccountStatus::Public,
+        );
         assert_eq!(w.account(id).unwrap().activity, 1.0);
     }
 

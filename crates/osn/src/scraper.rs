@@ -129,9 +129,7 @@ impl Scraper {
     ) -> Result<Observation, ScrapeError> {
         self.limiter.admit(now)?;
         self.requests_made += 1;
-        let account = world
-            .account(id)
-            .ok_or(ScrapeError::UnknownAccount(id))?;
+        let account = world.account(id).ok_or(ScrapeError::UnknownAccount(id))?;
         let obs = Observation {
             account: id,
             at: now,
@@ -153,9 +151,7 @@ impl Scraper {
     ) -> Result<Vec<Comment>, ScrapeError> {
         self.limiter.admit(now)?;
         self.requests_made += 1;
-        let account = world
-            .account(id)
-            .ok_or(ScrapeError::UnknownAccount(id))?;
+        let account = world.account(id).ok_or(ScrapeError::UnknownAccount(id))?;
         if account.status_at(now) != AccountStatus::Public {
             return Ok(Vec::new());
         }
@@ -242,7 +238,10 @@ mod tests {
             AccountStatus::Private,
         );
         w2.generate_baseline_comments(&[id2], (SimTime::EPOCH, SimTime::from_days(10)));
-        assert!(s.fetch_comments(&w2, id2, SimTime::from_days(20)).unwrap().is_empty());
+        assert!(s
+            .fetch_comments(&w2, id2, SimTime::from_days(20))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

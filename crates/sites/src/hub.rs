@@ -99,8 +99,8 @@ mod tests {
         gen.generate_period(1, &mut |d| hub.ingest(&d));
         gen.generate_period(2, &mut |d| hub.ingest(&d));
         assert_eq!(hub.total_ingested(), expected);
-        assert!(hub.pastebin().len() > 0);
-        assert!(hub.board(Source::Chan4B).unwrap().posts().len() > 0);
+        assert!(!hub.pastebin().is_empty());
+        assert!(!hub.board(Source::Chan4B).unwrap().posts().is_empty());
         assert!(hub.board(Source::Pastebin).is_none());
     }
 }

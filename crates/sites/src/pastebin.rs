@@ -106,7 +106,7 @@ impl SimPastebin {
         match self.index.get(&id) {
             Some(&i) => {
                 let p = &self.pastes[i];
-                p.posted_at <= at && p.deleted_at.map_or(true, |d| d > at)
+                p.posted_at <= at && p.deleted_at.is_none_or(|d| d > at)
             }
             None => false,
         }
@@ -132,9 +132,7 @@ impl SimPastebin {
         limit: usize,
     ) -> (Vec<PasteMeta>, Option<usize>) {
         assert!(limit > 0, "page limit must be positive");
-        let start = cursor.unwrap_or_else(|| {
-            self.pastes.partition_point(|p| p.posted_at < since)
-        });
+        let start = cursor.unwrap_or_else(|| self.pastes.partition_point(|p| p.posted_at < since));
         let end = (start + limit).min(self.pastes.len());
         let page = self.pastes[start..end].to_vec();
         let next = (end < self.pastes.len()).then_some(end);

@@ -475,10 +475,7 @@ mod tests {
         assert_eq!(c.period2.doxes(), 2_554);
         // Table 4 total: 1,737,887; our per-source split must sum close.
         let total = c.total_documents();
-        assert!(
-            (total as i64 - 1_737_887).abs() < 1_000,
-            "total = {total}"
-        );
+        assert!((total as i64 - 1_737_887).abs() < 1_000, "total = {total}");
         assert_eq!(c.total_doxes(), 5_530);
     }
 

@@ -217,8 +217,7 @@ impl<'w> CorpusGenerator<'w> {
 
     fn generate_dox_doc(&mut self, source: Source, at: SimTime, dup_rate: f64) -> SynthDoc {
         let id = self.take_doc_id();
-        let is_dup = !self.history.is_empty()
-            && self.rng.random_range(0.0..1.0) < dup_rate;
+        let is_dup = !self.history.is_empty() && self.rng.random_range(0.0..1.0) < dup_rate;
         let (plain, truth) = if is_dup {
             // Reposts favour the doxes worth spreading: ones that expose
             // accounts. Draw a few candidates and keep a rich one if any.
@@ -241,8 +240,7 @@ impl<'w> CorpusGenerator<'w> {
                         alt_insignia: self.rng.random_range(0.0..1.0) < 0.5,
                         update_section: self.rng.random_range(0.0..1.0) < 0.5,
                     };
-                    let body =
-                        render(persona, &rec.plan, self.world, variation, &mut self.rng);
+                    let body = render(persona, &rec.plan, self.world, variation, &mut self.rng);
                     (body, truth_of(persona, &rec.plan, Some(rec.doc_id), false))
                 }
             };
@@ -250,7 +248,13 @@ impl<'w> CorpusGenerator<'w> {
         } else {
             let persona = self.personas.generate(&mut self.rng);
             let plan = sample_plan(&persona, &self.config, false, &self.doxers, &mut self.rng);
-            let body = render(&persona, &plan, self.world, Variation::default(), &mut self.rng);
+            let body = render(
+                &persona,
+                &plan,
+                self.world,
+                Variation::default(),
+                &mut self.rng,
+            );
             let truth = truth_of(&persona, &plan, None, false);
             self.persona_store.push(persona);
             self.history.push(DoxRecord {
@@ -306,9 +310,8 @@ impl<'w> CorpusGenerator<'w> {
         } else {
             self.config.deletion.other_30d
         };
-        (self.rng.random_range(0.0..1.0) < p).then(|| {
-            SimDuration(self.rng.random_range(60..30 * MINUTES_PER_DAY))
-        })
+        (self.rng.random_range(0.0..1.0) < p)
+            .then(|| SimDuration(self.rng.random_range(60..30 * MINUTES_PER_DAY)))
     }
 
     fn take_doc_id(&mut self) -> u64 {
@@ -340,9 +343,20 @@ impl<'w> CorpusGenerator<'w> {
             // of ours are wild-style (including the sloppy/narrative
             // renderings that drive recall below 1).
             let proof_of_work = i % 3 != 0;
-            let plan =
-                sample_plan(&persona, &self.config, proof_of_work, &self.doxers, &mut self.rng);
-            let body = render(&persona, &plan, self.world, Variation::default(), &mut self.rng);
+            let plan = sample_plan(
+                &persona,
+                &self.config,
+                proof_of_work,
+                &self.doxers,
+                &mut self.rng,
+            );
+            let body = render(
+                &persona,
+                &plan,
+                self.world,
+                Variation::default(),
+                &mut self.rng,
+            );
             self.persona_store.push(persona);
             texts.push(body);
             labels.push(true);
@@ -358,9 +372,18 @@ impl<'w> CorpusGenerator<'w> {
         // confusion that produces Table 1's false positives.
         use crate::truth::PasteKind::*;
         let block = [
-            CredentialDump, UserList, FormData, CredentialDump, UserList,
-            FormData, ProfileCard, DoxTutorial, DoxDiscussion, DoxDiscussion,
-            DoxDiscussion, CredentialDump,
+            CredentialDump,
+            UserList,
+            FormData,
+            CredentialDump,
+            UserList,
+            FormData,
+            ProfileCard,
+            DoxTutorial,
+            DoxDiscussion,
+            DoxDiscussion,
+            DoxDiscussion,
+            CredentialDump,
         ];
         for i in 0..n_hard {
             let kind = block[i % block.len()];
@@ -377,10 +400,14 @@ impl<'w> CorpusGenerator<'w> {
             .map(|_| {
                 let id = self.take_doc_id();
                 let persona = self.personas.generate(&mut self.rng);
-                let plan =
-                    sample_plan(&persona, &self.config, true, &self.doxers, &mut self.rng);
-                let body =
-                    render(&persona, &plan, self.world, Variation::default(), &mut self.rng);
+                let plan = sample_plan(&persona, &self.config, true, &self.doxers, &mut self.rng);
+                let body = render(
+                    &persona,
+                    &plan,
+                    self.world,
+                    Variation::default(),
+                    &mut self.rng,
+                );
                 let truth = truth_of(&persona, &plan, None, false);
                 (
                     SynthDoc {
@@ -545,9 +572,7 @@ mod tests {
                         exact_count += 1;
                         let orig_doc = docs.iter().find(|x| x.id == orig).unwrap();
                         // Compare plain content: the chan HTML wrapper varies.
-                        if d.source == Source::Pastebin
-                            && orig_doc.source == Source::Pastebin
-                        {
+                        if d.source == Source::Pastebin && orig_doc.source == Source::Pastebin {
                             assert_eq!(d.body, orig_doc.body, "exact dup differs");
                         }
                     }
@@ -582,8 +607,14 @@ mod tests {
         // ±0.09 at 2σ, so only the coarse shape is asserted here; the 3x
         // ratio is checked at paper scale by the bench harness.
         assert!((dox_rate - 0.128).abs() < 0.10, "dox deletion {dox_rate}");
-        assert!((other_rate - 0.042).abs() < 0.01, "other deletion {other_rate}");
-        assert!(dox_rate > other_rate, "doxes delete more: {dox_rate} vs {other_rate}");
+        assert!(
+            (other_rate - 0.042).abs() < 0.01,
+            "other deletion {other_rate}"
+        );
+        assert!(
+            dox_rate > other_rate,
+            "doxes delete more: {dox_rate} vs {other_rate}"
+        );
     }
 
     #[test]
@@ -609,9 +640,17 @@ mod tests {
         // positives mention dox-like content far more often
         let doxy = |t: &String| {
             let lower = t.to_lowercase();
-            ["phone", "address", "addy", "lives around", "first name", "screencap", "goes by"]
-                .iter()
-                .any(|k| lower.contains(k))
+            [
+                "phone",
+                "address",
+                "addy",
+                "lives around",
+                "first name",
+                "screencap",
+                "goes by",
+            ]
+            .iter()
+            .any(|k| lower.contains(k))
         };
         let pos_doxy = texts
             .iter()
@@ -619,7 +658,10 @@ mod tests {
             .filter(|(t, &l)| l && doxy(t))
             .count() as f64
             / pos as f64;
-        assert!(pos_doxy > 0.6, "positives should look like doxes: {pos_doxy}");
+        assert!(
+            pos_doxy > 0.6,
+            "positives should look like doxes: {pos_doxy}"
+        );
     }
 
     #[test]

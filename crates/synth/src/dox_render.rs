@@ -139,8 +139,10 @@ pub fn sample_plan(
     // ground truth stays faithful to the rendered text.
     let stub = !proof_of_work && rng.random_range(0.0..1.0) < 0.10;
     let (fields, osn) = if stub {
-        let mut f = IncludedFields::default();
-        f.usernames = true;
+        let f = IncludedFields {
+            usernames: true,
+            ..IncludedFields::default()
+        };
         let mut o = osn;
         o.truncate(1);
         (f, o)
@@ -196,7 +198,7 @@ pub fn render(
     } else if plan.sloppy {
         // Half of the weakly structured doxes are narrative, half are
         // thread "fragments" — the subtlest form (§7.3).
-        if plan.template % 2 == 0 {
+        if plan.template.is_multiple_of(2) {
             render_sloppy(&mut out, persona, plan, world, rng);
         } else {
             render_fragment(&mut out, persona, plan, rng);
@@ -277,7 +279,9 @@ fn render_labeled(
         } else {
             // Address without zip-level precision: drop the zip.
             let full = persona.address.format(world);
-            full.rsplit_once(' ').map(|(a, _)| a.to_string()).unwrap_or(full)
+            full.rsplit_once(' ')
+                .map(|(a, _)| a.to_string())
+                .unwrap_or(full)
         };
         out.push_str(&format!("Address: {addr}\n"));
     }
@@ -321,7 +325,10 @@ fn render_labeled(
         }
     }
     if f.usernames {
-        out.push_str(&format!("Known aliases: {}\n", persona.usernames.join(", ")));
+        out.push_str(&format!(
+            "Known aliases: {}\n",
+            persona.usernames.join(", ")
+        ));
     }
     render_osn_block(out, plan, rng);
     if plan.show_community {
@@ -436,12 +443,7 @@ fn render_sloppy(
 /// pieces of actual information. Nearly indistinguishable from the
 /// dox-discussion hard negative at the bag-of-words level — by design,
 /// this is where the classifier's errors live.
-fn render_fragment(
-    out: &mut String,
-    persona: &Persona,
-    plan: &RenderPlan,
-    rng: &mut ChaCha8Rng,
-) {
+fn render_fragment(out: &mut String, persona: &Persona, plan: &RenderPlan, rng: &mut ChaCha8Rng) {
     let chatter = crate::names::THREAD_CHATTER;
     for _ in 0..rng.random_range(1..3usize) {
         out.push_str(chatter[rng.random_range(0..chatter.len())]);
@@ -471,7 +473,10 @@ fn render_fragment(
         }
     }
     if plan.fields.phone && rng.random_range(0.0..1.0) < 0.4 {
-        out.push_str(&format!("number ends {}\n", &persona.phone[persona.phone.len() - 4..]));
+        out.push_str(&format!(
+            "number ends {}\n",
+            &persona.phone[persona.phone.len() - 4..]
+        ));
     }
 }
 
@@ -518,13 +523,14 @@ fn motivation_text(motivation: Motivation, persona: &Persona, rng: &mut ChaCha8R
     match motivation {
         Motivation::Justice => [
             format!("why? {first} scammed half the forum and thought we forgot. justice served."),
-            format!("this one snitched to the mods and got three people banned. now everyone knows who you are."),
+            "this one snitched to the mods and got three people banned. now everyone knows who you are."
+                .to_string(),
             format!("{first} ripped off buyers for months. consider this justice."),
         ][rng.random_range(0..3)]
         .clone(),
         Motivation::Revenge => [
             format!("you stole my girl {first}, now the internet knows everything about you. revenge is sweet."),
-            format!("payback for what you did to me last summer. enjoy the attention."),
+            "payback for what you did to me last summer. enjoy the attention.".to_string(),
             format!("{first} thought they could trash talk me and walk away. this is revenge."),
         ][rng.random_range(0..3)]
         .clone(),
@@ -674,7 +680,10 @@ mod tests {
         // (see OsnRates::paper_wild), dampened by account ownership 0.9.
         let expected = 0.178 / 0.78 * 0.9;
         let rate = fb as f64 / n as f64;
-        assert!((rate - expected).abs() < 0.02, "facebook rate {rate} vs {expected}");
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "facebook rate {rate} vs {expected}"
+        );
     }
 
     #[test]
@@ -685,9 +694,15 @@ mod tests {
         let count = |pow: bool, rng: &mut ChaCha8Rng| {
             (0..n)
                 .map(|i| {
-                    sample_plan(&f.personas[i % f.personas.len()], &f.config, pow, &f.doxers, rng)
-                        .osn
-                        .len()
+                    sample_plan(
+                        &f.personas[i % f.personas.len()],
+                        &f.config,
+                        pow,
+                        &f.doxers,
+                        rng,
+                    )
+                    .osn
+                    .len()
                 })
                 .sum::<usize>() as f64
                 / n as f64
@@ -729,7 +744,11 @@ mod tests {
     #[test]
     fn credit_lines_mention_all_credited() {
         let mut rng = ChaCha8Rng::seed_from_u64(19);
-        let credits = vec!["DoxerA".to_string(), "@doxerb".to_string(), "DoxerC".to_string()];
+        let credits = vec![
+            "DoxerA".to_string(),
+            "@doxerb".to_string(),
+            "DoxerC".to_string(),
+        ];
         for _ in 0..10 {
             let line = credit_line(&credits, &mut rng);
             for c in &credits {
@@ -791,7 +810,10 @@ mod tests {
         plan.stub = false;
         plan.template = 0; // narrative variant
         let text = render(p, &plan, &f.world, Variation::default(), &mut rng);
-        assert!(!text.contains("Name:"), "narrative must not use labels: {text}");
+        assert!(
+            !text.contains("Name:"),
+            "narrative must not use labels: {text}"
+        );
     }
 
     #[test]

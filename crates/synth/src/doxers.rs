@@ -41,12 +41,12 @@ pub struct DoxerPopulation {
 }
 
 const ALIAS_FIRST: &[&str] = &[
-    "Dox", "Shadow", "Null", "Cipher", "Ghost", "Spect", "Vex", "Krypt",
-    "Phant", "Zero", "Hex", "Raze", "Grim", "Byte", "Wraith", "Omen",
+    "Dox", "Shadow", "Null", "Cipher", "Ghost", "Spect", "Vex", "Krypt", "Phant", "Zero", "Hex",
+    "Raze", "Grim", "Byte", "Wraith", "Omen",
 ];
 const ALIAS_SECOND: &[&str] = &[
-    "Lord", "Hunter", "Reaper", "Smith", "King", "Viper", "Storm", "Fang",
-    "Byte", "Wolf", "Crow", "Mancer",
+    "Lord", "Hunter", "Reaper", "Smith", "King", "Viper", "Storm", "Fang", "Byte", "Wolf", "Crow",
+    "Mancer",
 ];
 
 /// The team-size layout that reproduces Figure 2 at paper scale:
@@ -55,8 +55,9 @@ const ALIAS_SECOND: &[&str] = &[
 pub const PAPER_TEAM_SIZES: &[usize] = &[
     11, 9, 8, 7, 6, 6, 5, 5, 4, // 61 doxers in cliques of ≥ 4
     3, 3, 3, 3, 3, 3, 3, 3, // 24 in trios
-    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, // 40 in pairs
-    // 126 singletons appended programmatically to reach 251
+    2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2,
+    2, // 40 in pairs
+       // 126 singletons appended programmatically to reach 251
 ];
 
 impl DoxerPopulation {
@@ -78,7 +79,7 @@ impl DoxerPopulation {
         // analysis has something to find).
         let mut sizes: Vec<usize> = PAPER_TEAM_SIZES.to_vec();
         let fixed: usize = sizes.iter().sum();
-        sizes.extend(std::iter::repeat(1).take(251 - fixed));
+        sizes.extend(std::iter::repeat_n(1, 251 - fixed));
         let keep = ((sizes.len() as f64) * scale).ceil().max(1.0) as usize;
         // Keep a stratified prefix: big teams first so structure survives
         // small scales.
@@ -192,7 +193,12 @@ mod tests {
     #[test]
     fn big_team_members_sum_to_61() {
         let p = DoxerPopulation::paper(2);
-        let in_big: usize = p.teams().iter().filter(|t| t.len() >= 4).map(Vec::len).sum();
+        let in_big: usize = p
+            .teams()
+            .iter()
+            .filter(|t| t.len() >= 4)
+            .map(Vec::len)
+            .sum();
         assert_eq!(in_big, 61);
         let max = p.teams().iter().map(Vec::len).max().unwrap();
         assert_eq!(max, 11);

@@ -145,10 +145,7 @@ mod tests {
             if r.contains('/') {
                 saw_url = true;
                 assert!(
-                    Network::Facebook
-                        .url_hosts()
-                        .iter()
-                        .any(|h| r.contains(h)),
+                    Network::Facebook.url_hosts().iter().any(|h| r.contains(h)),
                     "{r}"
                 );
             }

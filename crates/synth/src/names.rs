@@ -10,33 +10,33 @@ use rand_chacha::ChaCha8Rng;
 
 /// Invented given names (mixed-gender pools the generator samples from).
 pub const FIRST_NAMES_M: &[&str] = &[
-    "Jaren", "Kolten", "Dastin", "Marek", "Torvin", "Eldan", "Rikard", "Soren",
-    "Calder", "Bramm", "Ludek", "Ondrei", "Pavel", "Quinten", "Ragnar", "Stellan",
-    "Tobin", "Ulric", "Vance", "Wendel", "Yorick", "Zane", "Anders", "Boris",
+    "Jaren", "Kolten", "Dastin", "Marek", "Torvin", "Eldan", "Rikard", "Soren", "Calder", "Bramm",
+    "Ludek", "Ondrei", "Pavel", "Quinten", "Ragnar", "Stellan", "Tobin", "Ulric", "Vance",
+    "Wendel", "Yorick", "Zane", "Anders", "Boris",
 ];
 
 /// Invented given names, feminine pool.
 pub const FIRST_NAMES_F: &[&str] = &[
-    "Maren", "Kaia", "Della", "Sorcha", "Tilde", "Una", "Vesla", "Wren",
-    "Ysolt", "Zelda", "Anneli", "Brenna", "Cerys", "Dagny", "Elin", "Freja",
-    "Greta", "Hedda", "Ingrid", "Jorun", "Katla", "Liv", "Moira", "Nessa",
+    "Maren", "Kaia", "Della", "Sorcha", "Tilde", "Una", "Vesla", "Wren", "Ysolt", "Zelda",
+    "Anneli", "Brenna", "Cerys", "Dagny", "Elin", "Freja", "Greta", "Hedda", "Ingrid", "Jorun",
+    "Katla", "Liv", "Moira", "Nessa",
 ];
 
 /// Syllables composed into surnames.
 const SURNAME_FIRST: &[&str] = &[
-    "Ald", "Berg", "Corn", "Dahl", "Eker", "Fisk", "Gran", "Holm", "Iver",
-    "Jern", "Kvist", "Lind", "Mork", "Nord", "Oster", "Palm", "Quist", "Rosen",
-    "Sand", "Thorn", "Ulv", "Vang", "West", "Yster",
+    "Ald", "Berg", "Corn", "Dahl", "Eker", "Fisk", "Gran", "Holm", "Iver", "Jern", "Kvist", "Lind",
+    "Mork", "Nord", "Oster", "Palm", "Quist", "Rosen", "Sand", "Thorn", "Ulv", "Vang", "West",
+    "Yster",
 ];
 const SURNAME_SECOND: &[&str] = &[
-    "berg", "dal", "feld", "gren", "haug", "land", "lund", "mark", "nes",
-    "rud", "stad", "strom", "vik", "wall", "by", "sen",
+    "berg", "dal", "feld", "gren", "haug", "land", "lund", "mark", "nes", "rud", "stad", "strom",
+    "vik", "wall", "by", "sen",
 ];
 
 /// Street-name stems.
 const STREET_FIRST: &[&str] = &[
-    "Maple", "Cedar", "Birch", "Harbor", "Mill", "Quarry", "Summit", "Vale",
-    "Willow", "Aspen", "Bluff", "Canal", "Drift", "Elm", "Fern", "Grove",
+    "Maple", "Cedar", "Birch", "Harbor", "Mill", "Quarry", "Summit", "Vale", "Willow", "Aspen",
+    "Bluff", "Canal", "Drift", "Elm", "Fern", "Grove",
 ];
 const STREET_SECOND: &[&str] = &[
     "Street", "Avenue", "Lane", "Road", "Court", "Drive", "Terrace", "Way",
@@ -44,33 +44,53 @@ const STREET_SECOND: &[&str] = &[
 
 /// School-name stems.
 const SCHOOL_FIRST: &[&str] = &[
-    "Northgate", "Riverview", "Stonebridge", "Lakecrest", "Fairhollow",
-    "Westmere", "Oakhurst", "Pinefield",
+    "Northgate",
+    "Riverview",
+    "Stonebridge",
+    "Lakecrest",
+    "Fairhollow",
+    "Westmere",
+    "Oakhurst",
+    "Pinefield",
 ];
 const SCHOOL_KIND: &[&str] = &["High School", "Academy", "Middle School", "College"];
 
 /// Email-provider domains (all under reserved example TLDs).
 pub const EMAIL_DOMAINS: &[&str] = &[
-    "mailbox.example", "quickmail.example", "postal.example", "inbox.example",
+    "mailbox.example",
+    "quickmail.example",
+    "postal.example",
+    "inbox.example",
     "webmail.example",
 ];
 
 /// Gaming-community sites used for the community classification (Table 7):
 /// a dox listing ≥ 2 of these marks the victim as a gamer.
 pub const GAMING_SITES: &[&str] = &[
-    "steamcommunity.example", "minecraftforum.example", "speedrun.example",
-    "clanhub.example", "gamebattles.example",
+    "steamcommunity.example",
+    "minecraftforum.example",
+    "speedrun.example",
+    "clanhub.example",
+    "gamebattles.example",
 ];
 
 /// Hacking-community sites (Table 7): ≥ 2 marks the victim as a hacker.
 pub const HACKING_SITES: &[&str] = &[
-    "hackforums.example", "leakbase.example", "crackcommunity.example",
+    "hackforums.example",
+    "leakbase.example",
+    "crackcommunity.example",
     "exploitden.example",
 ];
 
 /// Relations used for family-member lines in dox files.
 pub const RELATIONS: &[&str] = &[
-    "mother", "father", "brother", "sister", "uncle", "aunt", "grandmother",
+    "mother",
+    "father",
+    "brother",
+    "sister",
+    "uncle",
+    "aunt",
+    "grandmother",
     "cousin",
 ];
 
@@ -132,7 +152,11 @@ postponing";
 
 /// Pick a given name matching `feminine`.
 pub fn first_name(rng: &mut ChaCha8Rng, feminine: bool) -> String {
-    let pool = if feminine { FIRST_NAMES_F } else { FIRST_NAMES_M };
+    let pool = if feminine {
+        FIRST_NAMES_F
+    } else {
+        FIRST_NAMES_M
+    };
     pool[rng.random_range(0..pool.len())].to_string()
 }
 

@@ -151,12 +151,19 @@ fn profile_card(rng: &mut ChaCha8Rng) -> String {
          hobbies: {}\n\
          add me on discord or whatever, looking for a duo partner.\n\
          my setup: {} keyboard, decent headset, mid pc\n",
-        ["the midwest", "up north", "the coast", "nowhere interesting"]
-            [rng.random_range(0..4)],
+        [
+            "the midwest",
+            "up north",
+            "the coast",
+            "nowhere interesting"
+        ][rng.random_range(0..4)],
         first.to_lowercase(),
         rng.random_range(10..99u32),
-        ["speedrunning and modding", "drawing and ranked grind", "maps and strategy games"]
-            [rng.random_range(0..3)],
+        [
+            "speedrunning and modding",
+            "drawing and ranked grind",
+            "maps and strategy games"
+        ][rng.random_range(0..3)],
         ["mech", "60%", "old laptop"][rng.random_range(0..3)],
     )
 }
@@ -222,7 +229,10 @@ fn config_paste(rng: &mut ChaCha8Rng) -> String {
     out.push_str(&format!("port = {}\n", rng.random_range(1024..65535u32)));
     out.push_str(&format!("workers = {}\n", rng.random_range(1..32u32)));
     out.push_str("bind = 0.0.0.0\n\n[cache]\n");
-    out.push_str(&format!("ttl_seconds = {}\n", rng.random_range(30..3600u32)));
+    out.push_str(&format!(
+        "ttl_seconds = {}\n",
+        rng.random_range(30..3600u32)
+    ));
     out.push_str(&format!(
         "max_entries = {}\n\n[logging]\nlevel = info\nfile = /var/log/app.log\n",
         rng.random_range(100..100_000u32)
@@ -380,7 +390,11 @@ mod tests {
     #[test]
     fn synthetic_emails_use_reserved_domains() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        for body in [credential_dump(&mut rng), user_list(&mut rng), form_data(&mut rng)] {
+        for body in [
+            credential_dump(&mut rng),
+            user_list(&mut rng),
+            form_data(&mut rng),
+        ] {
             for word in body.split_whitespace() {
                 if word.contains('@') {
                     assert!(word.contains(".example"), "non-reserved email in {word}");

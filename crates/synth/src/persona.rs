@@ -236,9 +236,8 @@ impl<'w> PersonaGenerator<'w> {
                 rng.random_range(0..12u32),
                 ["brown", "black", "blond", "red"][rng.random_range(0..4)]
             ),
-            criminal: ["shoplifting 2014", "vandalism 2013", "none found"]
-                [rng.random_range(0..3)]
-            .to_string(),
+            criminal: ["shoplifting 2014", "vandalism 2013", "none found"][rng.random_range(0..3)]
+                .to_string(),
             financial: format!("owes ${} on a car loan", rng.random_range(500..20000u32)),
             family,
             usernames,
@@ -330,9 +329,7 @@ impl<'w> PersonaGenerator<'w> {
                     .world
                     .states()
                     .iter()
-                    .filter(|s| {
-                        s.id != home_state && !self.world.states_adjacent(s.id, home_state)
-                    })
+                    .filter(|s| s.id != home_state && !self.world.states_adjacent(s.id, home_state))
                     .map(|s| s.id)
                     .collect();
                 far[rng.random_range(0..far.len())]
@@ -372,11 +369,7 @@ fn sample_gamma(shape: f64, scale: f64, rng: &mut ChaCha8Rng) -> f64 {
 fn sample_dob(age: u8, rng: &mut ChaCha8Rng) -> (u16, u8, u8) {
     // Study year 2016.
     let year = 2016 - u16::from(age);
-    (
-        year,
-        rng.random_range(1..13u8),
-        rng.random_range(1..29u8),
-    )
+    (year, rng.random_range(1..13u8), rng.random_range(1..29u8))
 }
 
 fn sample_community(

@@ -224,7 +224,10 @@ impl Converter {
 fn trim_blank_edges(text: &str) -> String {
     let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
     let start = lines.iter().position(|l| !l.is_empty()).unwrap_or(0);
-    let end = lines.iter().rposition(|l| !l.is_empty()).map_or(0, |e| e + 1);
+    let end = lines
+        .iter()
+        .rposition(|l| !l.is_empty())
+        .map_or(0, |e| e + 1);
     lines[start..end].join("\n")
 }
 
@@ -239,7 +242,10 @@ mod tests {
 
     #[test]
     fn tags_are_stripped() {
-        assert_eq!(html_to_text("<b>bold</b> and <i>italic</i>"), "bold and italic");
+        assert_eq!(
+            html_to_text("<b>bold</b> and <i>italic</i>"),
+            "bold and italic"
+        );
     }
 
     #[test]
@@ -269,7 +275,10 @@ mod tests {
 
     #[test]
     fn entities_decode() {
-        assert_eq!(decode_entities("a &amp; b &lt;c&gt; &#39;d&#x27;"), "a & b <c> 'd'");
+        assert_eq!(
+            decode_entities("a &amp; b &lt;c&gt; &#39;d&#x27;"),
+            "a & b <c> 'd'"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl SparseVec {
     /// # Panics
     /// Panics if lengths differ or indices are not strictly increasing.
     pub fn from_parts(indices: Vec<u32>, values: Vec<f64>) -> Self {
-        assert_eq!(indices.len(), values.len(), "parallel array length mismatch");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "parallel array length mismatch"
+        );
         assert!(
             indices.windows(2).all(|w| w[0] < w[1]),
             "indices must be strictly increasing"
@@ -93,7 +97,10 @@ impl SparseVec {
 
     /// Iterate over `(index, value)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The value at `index` (zero when absent). `O(log nnz)`.
@@ -198,8 +205,7 @@ impl SparseVec {
 
     /// Assert the structural invariants; used by property tests.
     pub fn check_invariants(&self) -> bool {
-        self.indices.len() == self.values.len()
-            && self.indices.windows(2).all(|w| w[0] < w[1])
+        self.indices.len() == self.values.len() && self.indices.windows(2).all(|w| w[0] < w[1])
     }
 }
 

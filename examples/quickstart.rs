@@ -39,13 +39,22 @@ twitter: @jaren_t4
 dropped by NullFang_3 and @HexMancer_8, thanks to ByteCrow_1 for the SSN info";
     let paste = "fn main() { println!(\"just some rust code\"); } // build script";
 
-    println!("dox-looking text  -> classified dox? {}", classifier.is_dox(dox));
-    println!("code-looking text -> classified dox? {}", classifier.is_dox(paste));
+    println!(
+        "dox-looking text  -> classified dox? {}",
+        classifier.is_dox(dox)
+    );
+    println!(
+        "code-looking text -> classified dox? {}",
+        classifier.is_dox(paste)
+    );
 
     // 4. Extract the structured record from the dox (§3.1.3).
     let record = extract(dox);
     println!("\nExtraction record:");
-    println!("  name : {:?} {:?}", record.fields.first_name, record.fields.last_name);
+    println!(
+        "  name : {:?} {:?}",
+        record.fields.first_name, record.fields.last_name
+    );
     println!("  age  : {:?}", record.fields.age);
     println!("  phone: {:?}", record.fields.phones);
     println!("  ip   : {:?}", record.fields.ips);
@@ -54,7 +63,10 @@ dropped by NullFang_3 and @HexMancer_8, thanks to ByteCrow_1 for the SSN info";
         println!("  account: {} -> {}", osn.network, osn.handle);
     }
     for credit in &record.credits {
-        println!("  credited doxer: {} (twitter: {:?})", credit.alias, credit.twitter);
+        println!(
+            "  credited doxer: {} (twitter: {:?})",
+            credit.alias, credit.twitter
+        );
     }
 
     // 5. The most dox-indicative vocabulary the model learned.

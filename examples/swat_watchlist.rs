@@ -128,7 +128,10 @@ fn main() {
 
     // Old sightings expire.
     let much_later = now + SimDuration::from_days(365);
-    assert!(!watchlist.flag_zip(doxed_zip, much_later), "TTL must expire");
+    assert!(
+        !watchlist.flag_zip(doxed_zip, much_later),
+        "TTL must expire"
+    );
     println!("one year later, the same zip no longer flags (TTL expired).");
 
     // Phone-side check.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local quality gate: formatting, lints, build and the tier-1 test suite.
+# Fully offline — every dependency is a vendored path crate, so no step
+# touches the network. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+if command -v rustfmt >/dev/null 2>&1; then
+    cargo fmt --all -- --check
+else
+    echo "rustfmt not installed; skipping"
+fi
+
+step "cargo clippy --workspace -- -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "clippy not installed; skipping"
+fi
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+printf '\nAll checks passed.\n'

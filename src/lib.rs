@@ -15,6 +15,7 @@
 //! - [`sites`] — simulated paste sites (pastebin-like, chan-like boards).
 //! - [`extract`] — OSN account, sensitive-field and credit extraction.
 //! - [`core`] — the end-to-end measurement pipeline, analyses and reports.
+//! - [`obs`] — metrics, span timing and structured events (dependency-free).
 //!
 //! ## Quickstart
 //!
@@ -31,6 +32,7 @@ pub use dox_core as core;
 pub use dox_extract as extract;
 pub use dox_geo as geo;
 pub use dox_ml as ml;
+pub use dox_obs as obs;
 pub use dox_osn as osn;
 pub use dox_sites as sites;
 pub use dox_synth as synth;

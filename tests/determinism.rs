@@ -2,12 +2,17 @@
 
 use doxing_repro::core::report::to_json;
 use doxing_repro::core::study::{Study, StudyConfig};
+use doxing_repro::obs::Registry;
 
 #[test]
 fn same_seed_same_report() {
     let a = Study::new(StudyConfig::test_scale()).run();
     let b = Study::new(StudyConfig::test_scale()).run();
-    assert_eq!(to_json(&a), to_json(&b), "study must be fully deterministic");
+    assert_eq!(
+        to_json(&a),
+        to_json(&b),
+        "study must be fully deterministic"
+    );
 }
 
 #[test]
@@ -24,4 +29,39 @@ fn different_seed_different_report() {
     );
     // …but not the configured volumes.
     assert_eq!(a.pipeline.total, b.pipeline.total);
+}
+
+/// Metrics observe the study without participating in it: the report must
+/// be byte-identical whether spans/counters go to the process-global
+/// registry or to a private one, and the private registry must actually
+/// have recorded the pipeline funnel.
+#[test]
+fn metrics_collection_never_changes_the_report() {
+    let baseline = Study::new(StudyConfig::test_scale()).run();
+
+    let registry = Registry::new();
+    let observed = Study::with_registry(StudyConfig::test_scale(), registry.clone()).run();
+
+    assert_eq!(
+        to_json(&baseline),
+        to_json(&observed),
+        "recording metrics must not perturb the deterministic report"
+    );
+
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counters["pipeline.funnel.collected"],
+        observed.pipeline.total
+    );
+    for stage in [
+        "pipeline.stage.html_convert",
+        "pipeline.stage.classify",
+        "pipeline.stage.extract",
+        "pipeline.stage.dedup",
+    ] {
+        assert!(
+            snapshot.spans.contains_key(stage),
+            "missing span {stage:?} in snapshot"
+        );
+    }
 }

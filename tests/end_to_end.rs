@@ -99,10 +99,7 @@ fn osn_presence_is_bounded_by_dox_count() {
     for net in Network::ALL {
         assert!(r.osn_presence.count(net) <= r.osn_presence.total_doxes);
     }
-    assert_eq!(
-        r.osn_presence.total_doxes as u64,
-        r.pipeline.classified_dox
-    );
+    assert_eq!(r.osn_presence.total_doxes as u64, r.pipeline.classified_dox);
 }
 
 #[test]
@@ -122,7 +119,11 @@ fn demographics_within_generator_bands() {
     // Table 5 bands (loose: the labeled sample is small at test scale).
     assert!(d.min_age >= 10);
     assert!(d.max_age <= 74);
-    assert!(d.mean_age > 15.0 && d.mean_age < 30.0, "mean age {}", d.mean_age);
+    assert!(
+        d.mean_age > 15.0 && d.mean_age < 30.0,
+        "mean age {}",
+        d.mean_age
+    );
     assert!(d.male > d.female, "male share dominates (Table 5)");
     assert!(d.primary_country > 0.4, "USA share {}", d.primary_country);
 }
@@ -193,8 +194,5 @@ fn full_report_renders_and_serializes() {
     assert!(text.len() > 2000, "report should be substantial");
     let json = report::to_json(r);
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    assert_eq!(
-        parsed["pipeline"]["total"].as_u64(),
-        Some(r.pipeline.total)
-    );
+    assert_eq!(parsed["pipeline"]["total"].as_u64(), Some(r.pipeline.total));
 }

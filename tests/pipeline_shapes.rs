@@ -49,10 +49,7 @@ fn finding_facebook_most_referenced_network() {
         Network::YouTube,
         Network::Twitch,
     ] {
-        assert!(
-            fb >= r.osn_presence.count(net),
-            "{net} outnumbers Facebook"
-        );
+        assert!(fb >= r.osn_presence.count(net), "{net} outnumbers Facebook");
     }
     assert!(fb > 0);
 }

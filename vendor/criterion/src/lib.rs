@@ -1,0 +1,278 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the call surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! sampler. Each benchmark is calibrated to roughly 5 ms per sample, then
+//! timed for `sample_size` samples; the median per-iteration time is
+//! reported on stdout. There is no statistical analysis, HTML report, or
+//! baseline comparison. Passing `--test` (as `cargo test --benches` does)
+//! runs every benchmark exactly once to check it executes.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration hint, echoed as a rate in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark name, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A parameterized id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { id: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives the timing loop inside a benchmark closure.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: &'a mut Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` for the sampler-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        *self.elapsed = start.elapsed();
+    }
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // `cargo bench -- --test` / `cargo test --benches` smoke-run mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// A one-off benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report a derived rate alongside the per-iteration time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let label = self.label(&id.into());
+        self.run(&label, &mut f);
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = self.label(&id.into());
+        self.run(&label, &mut |b| f(b, input));
+    }
+
+    /// No-op finalizer kept for API compatibility.
+    pub fn finish(self) {}
+
+    fn label(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        }
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut elapsed = Duration::ZERO;
+        if self.criterion.test_mode {
+            f(&mut Bencher {
+                iters: 1,
+                elapsed: &mut elapsed,
+            });
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample takes ~5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            f(&mut Bencher {
+                iters,
+                elapsed: &mut elapsed,
+            });
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                f(&mut Bencher {
+                    iters,
+                    elapsed: &mut elapsed,
+                });
+                elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.2} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<48} {time:>12}  ({samples} samples x {iters} iters){rate}",
+            time = format_time(median),
+            samples = self.sample_size,
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundle benchmark functions into a runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::__from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point invoking each [`criterion_group!`] runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor for the `criterion_group!` macro.
+    #[doc(hidden)]
+    pub fn __from_args() -> Self {
+        Self::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut elapsed = Duration::ZERO;
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: &mut elapsed,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats_param() {
+        assert_eq!(BenchmarkId::new("parse", 42).id, "parse/42");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range strategies
+//! for integers and floats, tuple strategies, regex-lite string strategies
+//! (`".{0,300}"`, `"[a-z ]{0,200}"`, …), [`collection::vec`], and
+//! [`arbitrary::any`]. Unlike upstream there is no shrinking: failures
+//! report the generated inputs and the deterministic case seed instead.
+//! Case generation is a pure function of the fully-qualified test name and
+//! the case index, so failures reproduce exactly across runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface used by `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn doubling_is_even(x in 0u32..1000) {
+///         prop_assert_eq!((x * 2) % 2, 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )*
+                        let __proptest_inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}  "),*),
+                            $(&$arg),*
+                        );
+                        let __proptest_case = move ||
+                            -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __proptest_case().map_err(|e| e.with_inputs(__proptest_inputs))
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_compose(
+            pair in (0u32..100, -5.0f64..5.0),
+            flag in any::<bool>(),
+        ) {
+            let (idx, weight) = pair;
+            prop_assert!(idx < 100);
+            prop_assert!((-5.0..5.0).contains(&weight));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(items in crate::collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&items.len()));
+            prop_assert!(items.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+
+        #[test]
+        fn dot_never_generates_newline(s in ".{0,40}") {
+            prop_assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run("doomed", |rng| {
+                let x = crate::strategy::Strategy::generate(&(0u32..10), rng);
+                crate::prop_assert!(x > 100, "x was {x}");
+                Ok(())
+            });
+        });
+        let err = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("x was"), "panic message: {err}");
+        assert!(err.contains("case 0"), "panic message: {err}");
+    }
+}

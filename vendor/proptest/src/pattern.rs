@@ -1,0 +1,246 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern dialect the workspace's properties use: a sequence
+//! of atoms — `.` (any character except `\n`), `[...]` character classes
+//! with ranges, or literal characters (optionally `\`-escaped) — each with
+//! an optional `{m}`, `{m,n}`, `*`, `+` or `?` quantifier.
+
+use crate::test_runner::TestRng;
+
+/// Occasional non-ASCII characters emitted by the `.` atom, so properties
+/// exercise multi-byte UTF-8 handling.
+const UNICODE_POOL: &[char] = &['é', 'ß', 'ñ', '中', 'λ', '😀', '\u{2019}', '\t'];
+
+#[derive(Debug)]
+enum Atom {
+    /// `.` — any char except newline.
+    Any,
+    /// `[...]` — inclusive ranges of characters.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern.
+#[derive(Debug)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+impl Pattern {
+    /// Parse `pattern`.
+    ///
+    /// # Panics
+    /// Panics on syntax outside the supported dialect, so unsupported
+    /// properties fail loudly instead of silently generating garbage.
+    pub fn parse(pattern: &str) -> Self {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    assert!(
+                        chars.get(i) != Some(&'^'),
+                        "negated classes are not supported: {pattern:?}"
+                    );
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if chars.get(i) == Some(&'-') && chars.get(i + 1) != Some(&']') {
+                            i += 1;
+                            let hi = chars[i];
+                            i += 1;
+                            assert!(lo <= hi, "reversed class range in {pattern:?}");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(
+                        chars.get(i) == Some(&']'),
+                        "unterminated character class in {pattern:?}"
+                    );
+                    i += 1;
+                    assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).expect("dangling escape");
+                    i += 1;
+                    Atom::Lit(match c {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    })
+                }
+                '(' | ')' | '|' => {
+                    panic!("groups/alternation are not supported: {pattern:?}")
+                }
+                other => {
+                    i += 1;
+                    Atom::Lit(other)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    i += 1;
+                    let mut digits = String::new();
+                    while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                        digits.push(chars[i]);
+                        i += 1;
+                    }
+                    let m: usize = digits.parse().expect("quantifier lower bound");
+                    let n = if chars.get(i) == Some(&',') {
+                        i += 1;
+                        let mut digits = String::new();
+                        while matches!(chars.get(i), Some(c) if c.is_ascii_digit()) {
+                            digits.push(chars[i]);
+                            i += 1;
+                        }
+                        digits.parse().expect("quantifier upper bound")
+                    } else {
+                        m
+                    };
+                    assert!(
+                        chars.get(i) == Some(&'}'),
+                        "unterminated quantifier in {pattern:?}"
+                    );
+                    i += 1;
+                    (m, n)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "reversed quantifier in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        Self { pieces }
+    }
+
+    /// Generate one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(match &piece.atom {
+                    Atom::Lit(c) => *c,
+                    Atom::Any => {
+                        // Mostly printable ASCII, occasionally multi-byte.
+                        if rng.below(10) == 0 {
+                            UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]
+                        } else {
+                            char::from(0x20 + rng.below(0x5F) as u8)
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        let mut chosen = ranges[0].0;
+                        for (lo, hi) in ranges {
+                            let span = u64::from(*hi) - u64::from(*lo) + 1;
+                            if pick < span {
+                                chosen = char::from_u32(*lo as u32 + pick as u32)
+                                    .expect("class range stays in scalar values");
+                                break;
+                            }
+                            pick -= span;
+                        }
+                        chosen
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_runs_and_quantifiers() {
+        let mut rng = TestRng::new(5);
+        let p = Pattern::parse("ab{2}c?");
+        for _ in 0..50 {
+            let s = p.generate(&mut rng);
+            assert!(s == "abb" || s == "abbc", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_ranges_are_respected() {
+        let mut rng = TestRng::new(6);
+        let p = Pattern::parse("[a-cx]{10,20}");
+        for _ in 0..50 {
+            let s = p.generate(&mut rng);
+            assert!((10..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_excludes_newline_and_hits_unicode() {
+        let mut rng = TestRng::new(7);
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = Pattern::parse(".{0,50}").generate(&mut rng);
+            assert!(!s.contains('\n'));
+            saw_multibyte |= s.chars().any(|c| c.len_utf8() > 1);
+        }
+        assert!(
+            saw_multibyte,
+            "dot should occasionally emit multi-byte chars"
+        );
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        let mut rng = TestRng::new(8);
+        let s = Pattern::parse(r"a\.b\n").generate(&mut rng);
+        assert_eq!(s, "a.b\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn alternation_panics() {
+        Pattern::parse("a|b");
+    }
+}

@@ -1,0 +1,146 @@
+//! The per-test case loop and its deterministic RNG.
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    inputs: Option<String>,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            inputs: None,
+        }
+    }
+
+    /// Attach the formatted generated inputs for the failure report.
+    #[must_use]
+    pub fn with_inputs(mut self, inputs: String) -> Self {
+        self.inputs = Some(inputs);
+        self
+    }
+}
+
+/// xoshiro256** — deterministic, statistically solid, dependency-free.
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from arbitrary material (test name hash + case index).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Number of cases per property (`PROPTEST_CASES` overrides).
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run `property` for every deterministic case, panicking on the first
+/// failure with the case index and generated inputs.
+///
+/// # Panics
+/// Panics when a case fails.
+pub fn run<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = fnv1a(name.as_bytes());
+    for case in 0..cases() {
+        let mut rng = TestRng::new(seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        if let Err(e) = property(&mut rng) {
+            let inputs = e.inputs.as_deref().unwrap_or("<none recorded>");
+            panic!(
+                "property `{name}` failed at case {case}:\n  {msg}\n  inputs: {inputs}",
+                msg = e.message
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        let mut c = TestRng::new(10);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, (0..16).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..16).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut rng = TestRng::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run("counter", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, cases());
+    }
+}

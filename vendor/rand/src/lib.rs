@@ -1,0 +1,206 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! Provides [`RngExt`] — the uniform-sampling extension trait the workspace
+//! uses (`rng.random_range(lo..hi)` / `rng.random_range(lo..=hi)`) — as a
+//! blanket impl over any [`rand_core::RngCore`]. Integer sampling uses
+//! Lemire's widening-multiply method (bias < 2⁻⁶⁴ per draw); float sampling
+//! maps 53 high bits onto `[0, 1)` and scales into the requested interval.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+use std::ops::{Range, RangeInclusive};
+
+/// A range understood by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-sampling implementation.
+///
+/// `SampleRange` is a single blanket impl over this trait (rather than one
+/// impl per concrete range type) so that type inference can flow backwards
+/// from how the sample is used — e.g. `arr[rng.random_range(0..3)]` pins
+/// the literals to `usize` through the slice-index obligation.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Extension methods for random value generation.
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// A uniformly random `bool` that is `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// A uniform draw from `[0, 1)` using the top 53 bits of one `u64`.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, span)` via widening multiply; `span == 0` means
+/// the full 2⁶⁴ domain.
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    (((rng.next_u64() as u128) * (span as u128)) >> 64) as u64
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end as i128 - start as i128) as u64;
+                let off = below(rng, span);
+                (start as i128 + off as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                // Span of 0 in `below` encodes the full 2^64 domain, which
+                // is exactly the `start..=end` covering the whole type.
+                let span = (end as i128 - start as i128 + 1) as u64;
+                let off = below(rng, span);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let u = unit_f64(rng) as $t;
+                let v = start + (end - start) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= end {
+                    // Nudge to the largest value below `end`.
+                    <$t>::min(v, end - (end - start) * <$t>::EPSILON)
+                } else {
+                    v
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let u = unit_f64(rng) as $t;
+                start + (end - start) * u
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — a small deterministic source for the tests.
+    struct Xs(u64);
+
+    impl RngCore for Xs {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Xs(9);
+        for _ in 0..2000 {
+            let v = rng.random_range(3..12u32);
+            assert!((3..12).contains(&v));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.random_range(0..=0u8);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Xs(7);
+        for _ in 0..2000 {
+            let v = rng.random_range(-3.0..3.0);
+            assert!((-3.0..3.0).contains(&v), "{v}");
+            let u: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut rng = Xs(123);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = Xs(55);
+        let hits = (0..4000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Xs(1).random_range(5..5u32);
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serde replacement. Instead of upstream's visitor-based
+//! serializer architecture, [`Serialize`] lowers values into a JSON-shaped
+//! [`value::Value`] tree which `serde_json` renders; [`Deserialize`] lifts
+//! values back out of that tree. The derive macros (re-exported from
+//! `serde_derive`) generate the same externally-tagged representation
+//! upstream serde uses, so JSON produced here has the familiar shape:
+//! structs are objects, newtype structs are transparent, unit enum
+//! variants are strings, and data-carrying variants are
+//! `{"Variant": ...}` objects.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use value::{Number, Value};
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+///
+/// The vendored `#[derive(Deserialize)]` intentionally generates nothing:
+/// the workspace only ever deserializes into [`Value`] itself, and an
+/// unimplemented typed deserialization should fail at compile time rather
+/// than silently at run time.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree; `None` on shape mismatch.
+    fn from_value(value: &Value) -> Option<Self>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(value.clone())
+    }
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if *self >= 0 {
+                    Value::Number(Number::U64(*self as u64))
+                } else {
+                    Value::Number(Number::I64(*self as i64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        T::to_value(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        T::to_value(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// JSON object keys must be strings; scalar keys are stringified the way
+/// upstream `serde_json` does.
+///
+/// # Panics
+/// Panics when a key serializes to an array or object.
+fn key_string(key: &Value) -> String {
+    match key {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string-like value, got {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Hash iteration order is nondeterministic; sort so serialized
+        // output is a pure function of contents.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_lower_to_expected_nodes() {
+        assert_eq!(5u32.to_value(), Value::Number(Number::U64(5)));
+        assert_eq!((-3i64).to_value(), Value::Number(Number::I64(-3)));
+        assert_eq!(3i64.to_value(), Value::Number(Number::U64(3)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_lower_recursively() {
+        let v = vec![1u8, 2].to_value();
+        assert_eq!(v[0].as_u64(), Some(1));
+        assert_eq!(v[1].as_u64(), Some(2));
+        let arr = [7u64; 2].to_value();
+        assert_eq!(arr[1].as_u64(), Some(7));
+        let pair = (1u8, 2.5f64).to_value();
+        assert_eq!(pair[1].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn maps_become_objects_with_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(v["b"].as_u64(), Some(2));
+
+        let mut h = HashMap::new();
+        h.insert(10u32, "x");
+        let v = h.to_value();
+        assert_eq!(v["10"].as_str(), Some("x"));
+    }
+}

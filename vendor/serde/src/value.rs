@@ -1,0 +1,180 @@
+//! The JSON-shaped value tree the vendored serde lowers into.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned and signed integers are kept exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            // `{:?}` is shortest-roundtrip and keeps a decimal point or
+            // exponent, so the output re-parses as a float.
+            Number::F64(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// A JSON document. Objects preserve insertion order (like upstream
+/// `serde_json` with its default feature set), which keeps struct fields in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As `u64`, when the value is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `i64`, when the value is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+            Value::Number(Number::I64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `f64`, for any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// As ordered object entries.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Shared missing-entry sentinel for forgiving indexing.
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Forgiving object indexing: missing keys and non-objects yield
+    /// `Null` (matching upstream `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Forgiving array indexing: out-of-range and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_forgiving() {
+        let v = Value::Object(vec![(
+            "a".to_string(),
+            Value::Array(vec![Value::Number(Number::U64(1))]),
+        )]);
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v["a"][5].is_null());
+        assert!(v["a"]["not-an-object"].is_null());
+    }
+
+    #[test]
+    fn number_display_keeps_float_shape() {
+        assert_eq!(Number::U64(3).to_string(), "3");
+        assert_eq!(Number::I64(-3).to_string(), "-3");
+        assert_eq!(Number::F64(1.0).to_string(), "1.0");
+        assert_eq!(Number::F64(0.125).to_string(), "0.125");
+    }
+
+    #[test]
+    fn accessors_reject_wrong_shapes() {
+        let v = Value::String("x".into());
+        assert!(v.as_u64().is_none());
+        assert!(v.as_array().is_none());
+        assert_eq!(v.as_str(), Some("x"));
+        assert_eq!(Value::Number(Number::U64(7)).as_i64(), Some(7));
+        assert_eq!(Value::Number(Number::I64(-7)).as_f64(), Some(-7.0));
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit)
+//! and enums (unit, tuple and struct variants) — by walking the raw
+//! `proc_macro` token stream directly, since `syn`/`quote` are unavailable
+//! offline. `Serialize` lowers into the `serde::value::Value` tree with
+//! upstream's externally-tagged enum representation. `Deserialize`
+//! deliberately expands to nothing (see the trait docs in the vendored
+//! `serde`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            format!("::serde::value::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            format!("::serde::value::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let arm = match &v.fields {
+                    VariantFields::Unit => format!(
+                        "Self::{0} => ::serde::value::Value::String(::std::string::String::from(\"{0}\")),",
+                        v.name
+                    ),
+                    VariantFields::Tuple(1) => format!(
+                        "Self::{0}(__f0) => ::serde::value::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(__f0))]),",
+                        v.name
+                    ),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            let _ = write!(items, "::serde::Serialize::to_value({b}),");
+                        }
+                        format!(
+                            "Self::{0}({1}) => ::serde::value::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::value::Value::Array(::std::vec![{2}]))]),",
+                            v.name,
+                            binds.join(", "),
+                            items
+                        )
+                    }
+                    VariantFields::Struct(fields) => {
+                        let mut entries = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                entries,
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        format!(
+                            "Self::{0} {{ {1} }} => ::serde::value::Value::Object(::std::vec![(::std::string::String::from(\"{0}\"), ::serde::value::Value::Object(::std::vec![{2}]))]),",
+                            v.name,
+                            fields.join(", "),
+                            entries
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n  fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n}}",
+        item.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (intentionally generates nothing; see the
+/// vendored `serde::Deserialize` docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any number of leading `#[...]` attributes.
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("expected attribute body after '#', got {other:?}"),
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` visibility qualifiers.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn next_ident(tokens: &mut Tokens) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = next_ident(&mut tokens);
+    let name = next_ident(&mut tokens);
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body {other:?}"),
+        },
+        other => panic!("expected struct or enum, got `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Consume one field's type: everything up to a comma at angle-bracket
+/// depth zero. `<`/`>` in token streams are plain puncts, so generic
+/// argument commas (e.g. `BTreeMap<String, u64>`) must be depth-tracked;
+/// commas inside `()`/`[]` groups are invisible here by construction.
+fn skip_type(tokens: &mut Tokens) {
+    let mut depth: i32 = 0;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut tokens);
+        fields.push(next_ident(&mut tokens));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        skip_type(&mut tokens);
+        // Trailing comma (if any).
+        tokens.next();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return count;
+        }
+        skip_visibility(&mut tokens);
+        count += 1;
+        skip_type(&mut tokens);
+        tokens.next();
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let name = next_ident(&mut tokens);
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Struct(fields)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the variant comma.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tt) = tokens.peek() {
+                if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                tokens.next();
+            }
+        }
+        // Trailing comma (if any).
+        tokens.next();
+        variants.push(Variant { name, fields });
+    }
+}

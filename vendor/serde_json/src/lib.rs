@@ -1,0 +1,478 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders the vendored-serde [`Value`] tree to JSON text (compact and
+//! pretty) and parses JSON text back into [`Value`]s with a
+//! recursive-descent parser. Rendering is deterministic: object entries
+//! keep insertion order, floats use Rust's shortest-roundtrip formatting,
+//! and non-finite floats become `null` (as upstream does).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::value::{Number, Value};
+
+/// A parse or conversion error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of the error in the input, when parsing.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+/// Infallible for the value model used here; `Result` is kept for
+/// upstream-API compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty JSON (two-space indent, like upstream).
+///
+/// # Errors
+/// Infallible for the value model used here.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into `T` (in this workspace, always [`Value`]).
+///
+/// # Errors
+/// Returns an error describing the first offending byte on malformed
+/// input, or a shape mismatch when converting to `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    T::from_value(&value).ok_or_else(|| Error {
+        message: "value does not match the requested type".to_string(),
+        offset: None,
+    })
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::F64(v) if !v.is_finite() => out.push_str("null"),
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, level: usize) {
+    out.push('\n');
+    out.push_str(&" ".repeat(indent * level));
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(n) = indent {
+                    newline_indent(out, n, level + 1);
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(n) = indent {
+                newline_indent(out, n, level);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(n) = indent {
+                    newline_indent(out, n, level + 1);
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(n) = indent {
+                newline_indent(out, n, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                format!("expected '{}'", char::from(byte)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{literal}`"), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: consume a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::parse("invalid low surrogate", self.pos));
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(unit) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(u32::from(unit))
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                format!("invalid escape '\\{}'", char::from(other)),
+                                self.pos - 1,
+                            ));
+                        }
+                    }
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let s =
+            std::str::from_utf8(hex).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let v =
+            u16::from_str_radix(s, 16).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        let number = if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                Number::U64(v)
+            } else if let Ok(v) = text.parse::<i64>() {
+                Number::I64(v)
+            } else {
+                Number::F64(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::parse("invalid number", start))?,
+                )
+            }
+        } else {
+            Number::F64(
+                text.parse::<f64>()
+                    .map_err(|_| Error::parse("invalid number", start))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("a \"b\"\n".to_string())),
+            (
+                "nums".to_string(),
+                Value::Array(vec![
+                    Value::Number(Number::U64(1)),
+                    Value::Number(Number::F64(0.5)),
+                    Value::Number(Number::I64(-2)),
+                ]),
+            ),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed: Value = from_str(&text).unwrap();
+            assert_eq!(parsed, v, "failed roundtrip for {text}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Value = from_str(r#"{"a": {"b": [1, 2, {"c": "d"}]}, "e": 1e3}"#).unwrap();
+        assert_eq!(v["a"]["b"][2]["c"].as_str(), Some("d"));
+        assert_eq!(v["e"].as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = u64::MAX;
+        let v: Value = from_str(&big.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(big));
+        let neg: Value = from_str("-42").unwrap();
+        assert_eq!(neg.as_i64(), Some(-42));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v: Value = from_str(r#""é😀\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀\t"));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let text = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(text, "null");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["{", "[1,", "\"abc", "tru", "{\"a\" 1}", "1 2"] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn float_rendering_reparses_as_float() {
+        let text = to_string(&1.0f64).unwrap();
+        assert_eq!(text, "1.0");
+        let v: Value = from_str(&text).unwrap();
+        assert_eq!(v.as_f64(), Some(1.0));
+        assert!(v.as_u64().is_none());
+    }
+}
