@@ -1,0 +1,156 @@
+//! Streaming ingest engine throughput: the sharded `dox-engine` session at
+//! several worker/shard topologies against the sequential reference
+//! `Pipeline`, over one pre-collected two-period corpus.
+//!
+//! Besides the usual stdout report, the measured medians are recorded into
+//! `BENCH_engine.json` at the workspace root so throughput is tracked
+//! across commits. Numbers are honest wall-clock medians on whatever
+//! machine runs the bench — on a single hardware thread the multi-worker
+//! configurations mostly measure coordination overhead, not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dox_bench::BenchFixture;
+use dox_core::pipeline::Pipeline;
+use dox_core::training::DoxClassifier;
+use dox_engine::{DoxDetector, Engine};
+use dox_sites::collect::{CollectedDoc, Collector};
+use std::hint::black_box;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SCALE: f64 = 0.01;
+const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (1, 8), (2, 8), (4, 8)];
+
+struct EngineFixture {
+    classifier: Arc<DoxClassifier>,
+    docs: Vec<(u8, CollectedDoc)>,
+}
+
+impl EngineFixture {
+    fn build() -> Self {
+        let fixture = BenchFixture::new();
+        let mut gen = fixture.generator(SCALE);
+        let (texts, labels) = gen.training_sets();
+        let (classifier, _) = DoxClassifier::train(&texts, &labels, fixture.seed);
+        let mut docs = Vec::new();
+        let mut collector = Collector::new(fixture.seed);
+        for period in [1u8, 2] {
+            let _ = collector.collect_period(&mut gen, period, &mut |c| {
+                docs.push((period, c));
+                ControlFlow::Continue(())
+            });
+        }
+        Self {
+            classifier: Arc::new(classifier),
+            docs,
+        }
+    }
+
+    fn run_engine(&self, workers: usize, shards: usize) -> usize {
+        let engine = Engine::builder()
+            .workers(workers)
+            .shards(shards)
+            .build()
+            .expect("valid engine config");
+        let detector: Arc<dyn DoxDetector> = self.classifier.clone();
+        let mut session = engine.session(detector);
+        for (period, doc) in &self.docs {
+            session.ingest(*period, doc.clone()).expect("engine up");
+        }
+        session
+            .finish()
+            .expect("engine finishes")
+            .unique_doxes()
+            .count()
+    }
+
+    fn run_reference(&self) -> usize {
+        let mut pipeline = Pipeline::new((*self.classifier).clone());
+        for (period, doc) in &self.docs {
+            pipeline.process(doc, *period);
+        }
+        pipeline.unique_doxes().count()
+    }
+
+    /// Median seconds per full-corpus pass over `samples` runs.
+    fn time_median(&self, samples: usize, mut run: impl FnMut(&Self) -> usize) -> f64 {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run(self));
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        times[times.len() / 2]
+    }
+}
+
+/// Record the medians where commit history can see them.
+fn write_json(fixture: &EngineFixture, samples: usize) {
+    let docs = fixture.docs.len();
+    let reference = fixture.time_median(samples, EngineFixture::run_reference);
+    let mut entries = Vec::new();
+    entries.push(format!(
+        "    {{ \"config\": \"reference\", \"seconds\": {reference:.6}, \"docs_per_sec\": {:.0} }}",
+        docs as f64 / reference
+    ));
+    for (workers, shards) in TOPOLOGIES {
+        let t = fixture.time_median(samples, |f| f.run_engine(workers, shards));
+        entries.push(format!(
+            "    {{ \"config\": \"engine w{workers} s{shards}\", \"workers\": {workers}, \
+             \"shards\": {shards}, \"seconds\": {t:.6}, \"docs_per_sec\": {:.0}, \
+             \"speedup_vs_reference\": {:.3} }}",
+            docs as f64 / t,
+            reference / t
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_ingest\",\n  \"scale\": {SCALE},\n  \"documents\": {docs},\n  \
+         \"hardware_threads\": {},\n  \"samples\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let fixture = EngineFixture::build();
+    let docs = fixture.docs.len() as u64;
+
+    // The engine must agree with the reference before its speed means anything.
+    let expect = fixture.run_reference();
+    for (workers, shards) in TOPOLOGIES {
+        assert_eq!(
+            fixture.run_engine(workers, shards),
+            expect,
+            "engine w{workers} s{shards} disagrees with the reference pipeline"
+        );
+    }
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(docs));
+    group.bench_function("reference_pipeline", |b| {
+        b.iter(|| black_box(fixture.run_reference()))
+    });
+    for (workers, shards) in TOPOLOGIES {
+        group.bench_with_input(
+            BenchmarkId::new("ingest", format!("w{workers}_s{shards}")),
+            &(workers, shards),
+            |b, &(workers, shards)| b.iter(|| black_box(fixture.run_engine(workers, shards))),
+        );
+    }
+    group.finish();
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    write_json(&fixture, if test_mode { 1 } else { 5 });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

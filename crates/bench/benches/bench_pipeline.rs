@@ -33,8 +33,9 @@ fn bench_pipeline(c: &mut Criterion) {
                     let mut pipeline = Pipeline::new(clf);
                     let mut collector = Collector::new(fixture.seed);
                     for period in [1u8, 2] {
-                        collector.collect_period(&mut gen, period, &mut |c| {
-                            pipeline.process(&c, period)
+                        let _ = collector.collect_period(&mut gen, period, &mut |c| {
+                            pipeline.process(&c, period);
+                            std::ops::ControlFlow::Continue(())
                         });
                     }
                     black_box(pipeline.counters().clone())
@@ -44,13 +45,21 @@ fn bench_pipeline(c: &mut Criterion) {
     }
 
     group.bench_function("full_study_scale0.005", |b| {
-        b.iter(|| black_box(Study::new(StudyConfig::at_scale(0.005)).run()))
+        b.iter(|| {
+            black_box(
+                Study::new(StudyConfig::at_scale(0.005))
+                    .run()
+                    .expect("study runs"),
+            )
+        })
     });
     group.finish();
 
     // One full study at a more substantial scale, with its funnel printed
     // (the Figure 1 / Table 4 shape check for `cargo bench` logs).
-    let r = Study::new(StudyConfig::at_scale(0.01)).run();
+    let r = Study::new(StudyConfig::at_scale(0.01))
+        .run()
+        .expect("study runs");
     dox_obs::emit!(
         Level::Info,
         "bench.fig1",

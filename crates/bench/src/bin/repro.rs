@@ -6,6 +6,10 @@
 //! OPTIONS:
 //!   --scale <0..1]     corpus scale (default 0.05; 1.0 = paper scale)
 //!   --seed <u64>       master seed (default: the study default)
+//!   --workers <n>      ingest-engine stage workers (default: all cores)
+//!   --shards <n>       ingest-engine dedup shards (default: 8)
+//!   --reference        run the sequential reference pipeline instead of
+//!                      the streaming engine (identical output, slower)
 //!   --table <id>       print one result only: fig1, t1..t10, fig2, fig3,
 //!                      v-ip, v-comments (default: everything)
 //!   --json <path>      also write the machine-readable report
@@ -13,6 +17,10 @@
 //!                      funnel counters, events) as JSON
 //!   --quiet            suppress progress notes and the profile on stderr
 //! ```
+//!
+//! The report is a pure function of `(scale, seed)`: any `--workers` /
+//! `--shards` combination — and `--reference` — produces byte-identical
+//! `--json` output.
 //!
 //! Wall-clock timings live only in the metrics snapshot and the stderr
 //! profile — never in the `--json` report, which stays byte-identical for
@@ -26,6 +34,9 @@ use std::process::ExitCode;
 struct Args {
     scale: f64,
     seed: Option<u64>,
+    workers: Option<usize>,
+    shards: Option<usize>,
+    reference: bool,
     table: Option<String>,
     json: Option<String>,
     metrics: Option<String>,
@@ -36,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: 0.05,
         seed: None,
+        workers: None,
+        shards: None,
+        reference: false,
         table: None,
         json: None,
         metrics: None,
@@ -55,6 +69,15 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 args.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
             }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = Some(v.parse().map_err(|_| format!("bad workers {v:?}"))?);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = Some(v.parse().map_err(|_| format!("bad shards {v:?}"))?);
+            }
+            "--reference" => args.reference = true,
             "--table" => args.table = Some(it.next().ok_or("--table needs a value")?),
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a path")?),
@@ -72,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
 const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --scale <0..1]   corpus scale (default 0.05; 1.0 = paper scale)
   --seed <u64>     master seed
+  --workers <n>    ingest-engine stage workers (default: all cores)
+  --shards <n>     ingest-engine dedup shards (default: 8)
+  --reference      use the sequential reference pipeline (same output)
   --table <id>     fig1 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 fig2 fig3 v-ip v-comments
   --json <path>    write the JSON report
   --metrics <path> write the metrics/span snapshot as JSON
@@ -93,6 +119,12 @@ fn main() -> ExitCode {
         config.seed = seed;
         config.synth.seed = seed;
     }
+    if let Some(workers) = args.workers {
+        config.engine.workers = workers;
+    }
+    if let Some(shards) = args.shards {
+        config.engine.shards = shards;
+    }
     dox_obs::emit!(
         Level::Info,
         "repro",
@@ -103,7 +135,18 @@ fn main() -> ExitCode {
         seed = format!("{:#x}", config.seed),
     );
     let start = std::time::Instant::now();
-    let r = Study::new(config).run();
+    let study = Study::new(config);
+    let r = match if args.reference {
+        study.run_reference()
+    } else {
+        study.run()
+    } {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     dox_obs::emit!(
         Level::Info,
         "repro",
@@ -141,7 +184,14 @@ fn main() -> ExitCode {
     if let Some(path) = args.json {
         // Deterministic: derived only from (config, seed), never from the
         // metrics snapshot.
-        if let Err(e) = std::fs::write(&path, report::to_json(&r)) {
+        let json = match report::to_json(&r) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot serialize report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

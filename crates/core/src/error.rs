@@ -1,0 +1,77 @@
+//! Typed errors for the study driver and report serialization.
+//!
+//! Fallible entry points ([`Study::run`](crate::study::Study::run),
+//! [`Engine::builder`](dox_engine::Engine)'s `build`, report
+//! serialization) return [`Error`] instead of panicking, so binaries and
+//! services embedding the reproduction can surface failures without
+//! aborting the process.
+
+use dox_engine::EngineError;
+
+/// Everything that can go wrong driving a study end to end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The ingest engine rejected its configuration or failed mid-stream.
+    Engine(EngineError),
+    /// The training corpus violated an invariant — e.g. a proof-of-work
+    /// positive the generator failed to label as a dox.
+    Training(String),
+    /// A report failed to serialize.
+    Serialize(serde_json::Error),
+}
+
+/// Convenience alias used by the fallible `dox-core` entry points.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "ingest engine error: {e}"),
+            Error::Training(why) => write!(f, "training corpus invariant violated: {why}"),
+            Error::Serialize(e) => write!(f, "report serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::Serialize(e) => Some(e),
+            Error::Training(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Serialize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert_and_display() {
+        let err = Error::from(EngineError::ZeroWorkers);
+        assert!(matches!(err, Error::Engine(EngineError::ZeroWorkers)));
+        assert!(err.to_string().contains("worker"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn training_errors_carry_context() {
+        let err = Error::Training("PoW doc 12 not labeled dox".into());
+        assert!(err.to_string().contains("PoW doc 12"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

@@ -26,7 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
-pub mod dedup;
+pub mod error;
 pub mod labeling;
 pub mod monitor;
 pub mod pipeline;
@@ -35,5 +35,28 @@ pub mod study;
 pub mod subtle;
 pub mod training;
 
+/// De-duplication (stage four). The implementation moved into
+/// `dox-engine` so the streaming engine can shard it; the module is
+/// re-exported here so `dox_core::dedup::*` paths keep working.
+pub use dox_engine::dedup;
+
+pub use error::{Error, Result};
 pub use pipeline::{DetectedDox, Pipeline, PipelineCounters};
 pub use study::{Study, StudyConfig};
+
+/// One-stop imports for driving the reproduction.
+///
+/// ```
+/// use dox_core::prelude::*;
+///
+/// let config = StudyConfig::builder().seed(3).scale(0.005).build();
+/// let report = Study::new(config).run().expect("study runs");
+/// assert!(report.pipeline.total > 0);
+/// ```
+pub mod prelude {
+    pub use crate::error::{Error, Result};
+    pub use crate::report::{full_report, to_json};
+    pub use crate::study::{ExperimentReport, Study, StudyConfig, StudyConfigBuilder};
+    pub use dox_engine::{Engine, EngineBuilder, EngineConfig, EngineError};
+    pub use dox_obs::Registry;
+}

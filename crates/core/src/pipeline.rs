@@ -1,4 +1,5 @@
-//! The five-stage measurement pipeline (paper Figure 1).
+//! The five-stage measurement pipeline (paper Figure 1) — the sequential
+//! reference implementation.
 //!
 //! [`Pipeline`] consumes the collection stream one document at a time:
 //! HTML conversion for chan posts, TF-IDF + SGD classification, extraction
@@ -7,183 +8,54 @@
 //! accumulated in the pipeline state: detected doxes with their extraction
 //! records, per-stage counters, and the dox-labeled document ids (for the
 //! Table 3 deletion survey).
+//!
+//! Production runs go through the streaming
+//! [`Engine`](dox_engine::Engine) instead; this type remains the
+//! executable specification the engine's determinism suite compares
+//! against, byte for byte. The shared data model ([`DetectedDox`],
+//! [`PipelineCounters`], [`PipelineOutput`]) lives in `dox-engine` and is
+//! re-exported here so existing `dox_core::pipeline::*` paths keep
+//! working.
 
-use crate::dedup::{Deduplicator, DuplicateKind};
 use crate::training::DoxClassifier;
-use dox_extract::record::{extract, ExtractedDox};
-use dox_obs::{Counter, Histogram, LocalHistogram, Registry};
-use dox_osn::clock::SimTime;
+use dox_engine::dedup::{Deduplicator, DuplicateKind};
+use dox_engine::stage::{classify_and_extract, StageLocal, StageMetrics};
+use dox_obs::{Counter, Registry};
 use dox_sites::collect::CollectedDoc;
-use dox_synth::corpus::Source;
-use dox_synth::truth::DoxTruth;
-use dox_textkit::html::html_to_text;
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
-/// A document the classifier flagged as a dox.
-#[derive(Debug, Clone)]
-pub struct DetectedDox {
-    /// Document id from the stream.
-    pub doc_id: u64,
-    /// Source site.
-    pub source: Source,
-    /// Collection period (1 or 2).
-    pub period: u8,
-    /// Posting time.
-    pub posted_at: SimTime,
-    /// When the collector saw it (monitoring starts here).
-    pub observed_at: SimTime,
-    /// Plain-text body (after HTML conversion).
-    pub text: String,
-    /// Extraction record.
-    pub extracted: ExtractedDox,
-    /// De-duplication verdict; `None` means this is the first dox of its
-    /// victim.
-    pub duplicate: Option<(DuplicateKind, u64)>,
-    /// Ground truth when the document really is a dox (false positives
-    /// carry `None`). Used only by evaluation, never by inference.
-    pub truth: Option<Box<DoxTruth>>,
-}
+pub use dox_engine::output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
 
-/// Per-stage counters — the numbers on the Figure 1 funnel.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PipelineCounters {
-    /// Documents processed per source.
-    pub per_source: BTreeMap<String, u64>,
-    /// Documents processed per period: `[period1, period2]`.
-    pub per_period: [u64; 2],
-    /// Classified as dox per period.
-    pub dox_per_period: [u64; 2],
-    /// Duplicates removed per period.
-    pub duplicates_per_period: [u64; 2],
-    /// Total documents.
-    pub total: u64,
-    /// Total classified as dox.
-    pub classified_dox: u64,
-    /// Exact-body duplicates.
-    pub exact_duplicates: u64,
-    /// Account-set duplicates.
-    pub account_set_duplicates: u64,
-}
-
-impl PipelineCounters {
-    /// Unique doxes after dedup. Saturates at zero: counters assembled
-    /// from partial or merged streams can carry more recorded duplicates
-    /// than classified doxes, and a funnel count must never wrap.
-    pub fn unique_doxes(&self) -> u64 {
-        self.classified_dox
-            .saturating_sub(self.exact_duplicates)
-            .saturating_sub(self.account_set_duplicates)
-    }
-
-    /// Unique doxes in one period (saturating, like [`Self::unique_doxes`]).
-    pub fn unique_in_period(&self, which: u8) -> u64 {
-        let i = usize::from(which - 1);
-        self.dox_per_period[i].saturating_sub(self.duplicates_per_period[i])
-    }
-}
-
-/// Pre-resolved metric handles for the pipeline's four instrumented
-/// stages (Figure 1 funnel) — resolved once so the per-document hot path
-/// is a handful of relaxed atomic ops.
+/// The funnel counters the reference pipeline maintains on top of the
+/// pure stage metrics.
 #[derive(Clone)]
-struct PipelineMetrics {
-    /// Documents entering the funnel.
+struct FunnelMetrics {
     collected: Counter,
-    /// Documents that went through HTML→text conversion.
-    html_converted: Counter,
-    /// Documents the classifier flagged as doxes.
     classified_dox: Counter,
-    /// Doxes marked as duplicates by dedup.
     duplicates: Counter,
-    /// Doxes surviving dedup.
     unique: Counter,
-    /// Per-document stage durations, nanoseconds.
-    html_convert_ns: Histogram,
-    classify_ns: Histogram,
-    extract_ns: Histogram,
-    dedup_ns: Histogram,
+    dedup_ns: dox_obs::Histogram,
 }
 
-impl PipelineMetrics {
+impl FunnelMetrics {
     fn resolve(registry: &Registry) -> Self {
         Self {
             collected: registry.counter("pipeline.funnel.collected"),
-            html_converted: registry.counter("pipeline.funnel.html_converted"),
             classified_dox: registry.counter("pipeline.funnel.classified_dox"),
             duplicates: registry.counter("pipeline.funnel.duplicates"),
             unique: registry.counter("pipeline.funnel.unique"),
-            html_convert_ns: registry.histogram("pipeline.stage.html_convert"),
-            classify_ns: registry.histogram("pipeline.stage.classify"),
-            extract_ns: registry.histogram("pipeline.stage.extract"),
             dedup_ns: registry.histogram("pipeline.stage.dedup"),
         }
     }
 }
 
-/// Per-worker stage timings: workers accumulate locally and merge once
-/// per chunk, so the parallel classify fan-out adds no atomic contention.
-#[derive(Default)]
-struct StageLocal {
-    html_convert: LocalHistogram,
-    classify: LocalHistogram,
-    extract: LocalHistogram,
-    html_converted: u64,
-}
-
-impl StageLocal {
-    fn merge_into(&mut self, metrics: &PipelineMetrics) {
-        self.html_convert.merge_into(&metrics.html_convert_ns);
-        self.classify.merge_into(&metrics.classify_ns);
-        self.extract.merge_into(&metrics.extract_ns);
-        metrics.html_converted.add(self.html_converted);
-        self.html_converted = 0;
-    }
-}
-
-/// The outcome of the pure per-document stage: `None` when the classifier
-/// rejects the document, else the plain text plus its extraction record.
-type StagedDoc = Option<(String, ExtractedDox)>;
-
-/// The pure (parallelizable) per-document work: HTML conversion,
-/// classification, and — for classified doxes — extraction. Stage timings
-/// land in `timings`; they observe the work without affecting the result.
-fn classify_and_extract(
-    classifier: &DoxClassifier,
-    collected: &CollectedDoc,
-    timings: &mut StageLocal,
-) -> StagedDoc {
-    let doc = &collected.doc;
-    let text = if doc.source.is_html() {
-        let start = Instant::now();
-        let text = html_to_text(&doc.body);
-        timings.html_convert.record_duration(start.elapsed());
-        timings.html_converted += 1;
-        text
-    } else {
-        doc.body.clone()
-    };
-    let start = Instant::now();
-    let is_dox = classifier.is_dox(&text);
-    timings.classify.record_duration(start.elapsed());
-    if !is_dox {
-        return None;
-    }
-    let start = Instant::now();
-    let extracted = extract(&text);
-    timings.extract.record_duration(start.elapsed());
-    Some((text, extracted))
-}
-
-/// The streaming pipeline.
+/// The streaming pipeline (sequential reference implementation).
 pub struct Pipeline {
     classifier: DoxClassifier,
     dedup: Deduplicator,
-    detected: Vec<DetectedDox>,
-    dox_ids: HashSet<u64>,
-    counters: PipelineCounters,
-    metrics: PipelineMetrics,
+    output: PipelineOutput,
+    stages: StageMetrics,
+    funnel: FunnelMetrics,
 }
 
 impl Pipeline {
@@ -199,10 +71,9 @@ impl Pipeline {
         Self {
             classifier,
             dedup: Deduplicator::new(),
-            detected: Vec::new(),
-            dox_ids: HashSet::new(),
-            counters: PipelineCounters::default(),
-            metrics: PipelineMetrics::resolve(registry),
+            output: PipelineOutput::default(),
+            stages: StageMetrics::resolve(registry),
+            funnel: FunnelMetrics::resolve(registry),
         }
     }
 
@@ -210,7 +81,7 @@ impl Pipeline {
     pub fn process(&mut self, collected: &CollectedDoc, period: u8) {
         let mut timings = StageLocal::default();
         let stage = classify_and_extract(&self.classifier, collected, &mut timings);
-        timings.merge_into(&self.metrics);
+        timings.merge_into(&self.stages);
         self.reduce(collected, period, stage);
     }
 
@@ -252,7 +123,7 @@ impl Pipeline {
                 .collect();
             for h in handles {
                 let (chunk_staged, mut timings) = h.join().expect("pipeline worker panicked");
-                timings.merge_into(&self.metrics);
+                timings.merge_into(&self.stages);
                 staged.push(chunk_staged);
             }
         });
@@ -264,11 +135,11 @@ impl Pipeline {
     /// Apply the stateful stages for one staged document.
     fn reduce(&mut self, collected: &CollectedDoc, period: u8, stage: StagedDoc) {
         let doc = &collected.doc;
-        self.counters.total += 1;
-        self.metrics.collected.inc();
-        self.counters.per_period[usize::from(period - 1)] += 1;
-        *self
-            .counters
+        let counters = &mut self.output.counters;
+        counters.total += 1;
+        self.funnel.collected.inc();
+        counters.per_period[usize::from(period - 1)] += 1;
+        *counters
             .per_source
             .entry(doc.source.name().to_string())
             .or_insert(0) += 1;
@@ -276,29 +147,27 @@ impl Pipeline {
         let Some((text, extracted)) = stage else {
             return;
         };
-        self.counters.classified_dox += 1;
-        self.metrics.classified_dox.inc();
-        self.counters.dox_per_period[usize::from(period - 1)] += 1;
-        self.dox_ids.insert(doc.id);
+        counters.classified_dox += 1;
+        self.funnel.classified_dox.inc();
+        counters.dox_per_period[usize::from(period - 1)] += 1;
+        self.output.dox_ids.insert(doc.id);
 
         let dedup_start = Instant::now();
         let duplicate = self.dedup.check(doc.id, &text, &extracted);
-        self.metrics
-            .dedup_ns
-            .observe_duration(dedup_start.elapsed());
+        self.funnel.dedup_ns.observe_duration(dedup_start.elapsed());
         if let Some((kind, _)) = duplicate {
-            self.counters.duplicates_per_period[usize::from(period - 1)] += 1;
-            self.metrics.duplicates.inc();
+            counters.duplicates_per_period[usize::from(period - 1)] += 1;
+            self.funnel.duplicates.inc();
             match kind {
-                DuplicateKind::ExactBody => self.counters.exact_duplicates += 1,
-                DuplicateKind::AccountSet => self.counters.account_set_duplicates += 1,
+                DuplicateKind::ExactBody => counters.exact_duplicates += 1,
+                DuplicateKind::AccountSet => counters.account_set_duplicates += 1,
                 DuplicateKind::Fuzzy => {}
             }
         } else {
-            self.metrics.unique.inc();
+            self.funnel.unique.inc();
         }
 
-        self.detected.push(DetectedDox {
+        self.output.detected.push(DetectedDox {
             doc_id: doc.id,
             source: doc.source,
             period,
@@ -313,22 +182,22 @@ impl Pipeline {
 
     /// Every detected dox, posting order.
     pub fn detected(&self) -> &[DetectedDox] {
-        &self.detected
+        self.output.detected()
     }
 
     /// Detected doxes that survived de-duplication.
     pub fn unique_doxes(&self) -> impl Iterator<Item = &DetectedDox> {
-        self.detected.iter().filter(|d| d.duplicate.is_none())
+        self.output.unique_doxes()
     }
 
     /// Whether the pipeline labeled document `id` a dox (Table 3 survey).
     pub fn labeled_dox(&self, id: u64) -> bool {
-        self.dox_ids.contains(&id)
+        self.output.labeled_dox(id)
     }
 
     /// Stage counters.
     pub fn counters(&self) -> &PipelineCounters {
-        &self.counters
+        self.output.counters()
     }
 
     /// Ground-truth confusion counts over everything processed so far:
@@ -336,14 +205,19 @@ impl Pipeline {
     /// `total − the rest`. Needs the caller to track false negatives, so
     /// this only reports what the pipeline can see (tp, fp).
     pub fn detection_quality(&self) -> (u64, u64) {
-        let tp = self.detected.iter().filter(|d| d.truth.is_some()).count() as u64;
-        let fp = self.detected.len() as u64 - tp;
-        (tp, fp)
+        self.output.detection_quality()
     }
 
     /// The trained classifier (model inspection, examples).
     pub fn classifier(&self) -> &DoxClassifier {
         &self.classifier
+    }
+
+    /// Consume the pipeline, yielding the accumulated output in the same
+    /// shape the streaming engine produces (the determinism suite
+    /// compares the two byte for byte).
+    pub fn into_output(self) -> PipelineOutput {
+        self.output
     }
 }
 
@@ -355,6 +229,7 @@ mod tests {
     use dox_sites::collect::Collector;
     use dox_synth::config::SynthConfig;
     use dox_synth::corpus::CorpusGenerator;
+    use std::ops::ControlFlow;
 
     fn run_pipeline() -> Pipeline {
         let world = World::generate(&WorldConfig::default(), 71);
@@ -365,7 +240,10 @@ mod tests {
         let mut pipeline = Pipeline::new(clf);
         let mut collector = Collector::new(71);
         for period in [1u8, 2] {
-            collector.collect_period(&mut gen, period, &mut |c| pipeline.process(&c, period));
+            let _ = collector.collect_period(&mut gen, period, &mut |c| {
+                pipeline.process(&c, period);
+                ControlFlow::Continue(())
+            });
         }
         pipeline
     }
@@ -440,14 +318,20 @@ mod tests {
         let (mut gen_a, mut seq) = mk();
         let mut collector_a = Collector::new(72);
         for period in [1u8, 2] {
-            collector_a.collect_period(&mut gen_a, period, &mut |c| seq.process(&c, period));
+            let _ = collector_a.collect_period(&mut gen_a, period, &mut |c| {
+                seq.process(&c, period);
+                ControlFlow::Continue(())
+            });
         }
         // Parallel over 4 threads, batched per period.
         let (mut gen_b, mut par) = mk();
         let mut collector_b = Collector::new(72);
         for period in [1u8, 2] {
             let mut batch = Vec::new();
-            collector_b.collect_period(&mut gen_b, period, &mut |c| batch.push(c));
+            let _ = collector_b.collect_period(&mut gen_b, period, &mut |c| {
+                batch.push(c);
+                ControlFlow::Continue(())
+            });
             par.process_batch(&batch, period, 4);
         }
         assert_eq!(seq.counters(), par.counters());
@@ -472,24 +356,6 @@ mod tests {
     }
 
     #[test]
-    fn unique_counts_saturate_when_duplicates_exceed_doxes() {
-        // Counters merged from partial streams can record more duplicates
-        // than classified doxes; the funnel arithmetic must clamp at zero
-        // instead of wrapping to ~2^64.
-        let c = PipelineCounters {
-            classified_dox: 3,
-            exact_duplicates: 2,
-            account_set_duplicates: 2,
-            dox_per_period: [1, 2],
-            duplicates_per_period: [4, 0],
-            ..PipelineCounters::default()
-        };
-        assert_eq!(c.unique_doxes(), 0);
-        assert_eq!(c.unique_in_period(1), 0);
-        assert_eq!(c.unique_in_period(2), 2);
-    }
-
-    #[test]
     fn metrics_registry_mirrors_funnel_counters() {
         let registry = dox_obs::Registry::new();
         let world = World::generate(&WorldConfig::default(), 71);
@@ -501,7 +367,10 @@ mod tests {
         let mut collector = Collector::new(71);
         for period in [1u8, 2] {
             let mut batch = Vec::new();
-            collector.collect_period(&mut gen, period, &mut |c| batch.push(c));
+            let _ = collector.collect_period(&mut gen, period, &mut |c| {
+                batch.push(c);
+                ControlFlow::Continue(())
+            });
             pipeline.process_batch(&batch, period, 4);
         }
         let c = pipeline.counters();

@@ -34,11 +34,8 @@ pub fn full_report(r: &ExperimentReport) -> String {
 }
 
 /// Serialize the full report as pretty JSON.
-///
-/// # Panics
-/// Panics if serialization fails (it cannot for this type).
-pub fn to_json(r: &ExperimentReport) -> String {
-    serde_json::to_string_pretty(r).expect("ExperimentReport serializes")
+pub fn to_json(r: &ExperimentReport) -> crate::error::Result<String> {
+    Ok(serde_json::to_string_pretty(r)?)
 }
 
 fn header(title: &str) -> String {
@@ -418,7 +415,11 @@ mod tests {
     fn report() -> &'static ExperimentReport {
         use std::sync::OnceLock;
         static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
-        REPORT.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+        REPORT.get_or_init(|| {
+            Study::new(StudyConfig::test_scale())
+                .run()
+                .expect("test-scale study runs")
+        })
     }
 
     #[test]
@@ -434,7 +435,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip_is_valid() {
-        let json = to_json(report());
+        let json = to_json(report()).expect("report serializes");
         let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(value.get("pipeline").is_some());
         assert!(value.get("doxer_network").is_some());

@@ -28,10 +28,12 @@ use crate::analysis::status_change::{
 };
 use crate::analysis::timeline::{reaction_timing, timeline_panel, ReactionTiming, TimelinePanel};
 use crate::analysis::validation::{validate_by_ip, DeletionValidation, IpValidation};
+use crate::error::{Error, Result};
 use crate::labeling::{label_sample, LabelingPlan};
 use crate::monitor::{Monitor, Schedule};
-use crate::pipeline::{Pipeline, PipelineCounters};
+use crate::pipeline::{Pipeline, PipelineCounters, PipelineOutput};
 use crate::training::{ClassifierSummary, DoxClassifier};
+use dox_engine::{DoxDetector, Engine, EngineConfig};
 use dox_extract::accuracy::{evaluate_extractor, ExtractorEvaluation};
 use dox_geo::alloc::{AllocConfig, Allocation};
 use dox_geo::geoip::GeoIpDb;
@@ -50,9 +52,17 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Everything a full study run needs.
+///
+/// `#[non_exhaustive]`: construct through [`StudyConfig::builder`] (or the
+/// [`paper`](StudyConfig::paper) / [`at_scale`](StudyConfig::at_scale) /
+/// [`test_scale`](StudyConfig::test_scale) presets) so new knobs can be
+/// added without breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct StudyConfig {
     /// Master seed.
     pub seed: u64,
@@ -75,9 +85,20 @@ pub struct StudyConfig {
     pub ip_validation_sample: usize,
     /// Extractor-evaluation sample size (paper: 125).
     pub extractor_sample: usize,
+    /// Ingest-engine topology ([`Study::run`]'s worker/shard/queue
+    /// layout). Never affects the report — only throughput.
+    pub engine: EngineConfig,
 }
 
 impl StudyConfig {
+    /// Start building a configuration; every knob defaults to the
+    /// paper-scale value.
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder {
+            config: Self::paper(),
+        }
+    }
+
     /// Paper-scale configuration. A full run processes 1.74 M documents —
     /// use `--release`.
     pub fn paper() -> Self {
@@ -117,7 +138,76 @@ impl StudyConfig {
             control_pool,
             ip_validation_sample: 50,
             extractor_sample: 125,
+            engine: EngineConfig::default(),
         }
+    }
+}
+
+/// Builder for [`StudyConfig`]. Defaults to the paper-scale run; each
+/// setter overrides one knob.
+///
+/// ```
+/// use dox_core::study::StudyConfig;
+///
+/// let config = StudyConfig::builder().seed(7).scale(0.01).build();
+/// assert_eq!(config.seed, 7);
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "builders do nothing until build() is called"]
+pub struct StudyConfigBuilder {
+    config: StudyConfig,
+}
+
+impl StudyConfigBuilder {
+    /// Set the master seed (also re-seeds corpus generation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.config.synth.seed = seed;
+        self
+    }
+
+    /// Shrink the whole study to `scale` of the paper's volumes
+    /// (`0 < scale <= 1`), like [`StudyConfig::at_scale`].
+    ///
+    /// # Panics
+    /// Panics unless `0 < scale <= 1`.
+    pub fn scale(mut self, scale: f64) -> Self {
+        let seed = self.config.seed;
+        let engine = self.config.engine.clone();
+        self.config = StudyConfig::at_scale(scale);
+        self.config.seed = seed;
+        self.config.synth.seed = seed;
+        self.config.engine = engine;
+        self
+    }
+
+    /// Replace the corpus configuration wholesale.
+    pub fn synth(mut self, synth: SynthConfig) -> Self {
+        self.config.synth = synth;
+        self
+    }
+
+    /// Replace the monitoring schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Replace the manual-labeling plan.
+    pub fn labeling(mut self, labeling: LabelingPlan) -> Self {
+        self.config.labeling = labeling;
+        self
+    }
+
+    /// Set the ingest-engine topology (workers, shards, queue depth).
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> StudyConfig {
+        self.config
     }
 }
 
@@ -210,8 +300,24 @@ impl Study {
         &self.registry
     }
 
-    /// Execute the full reproduction.
-    pub fn run(&self) -> ExperimentReport {
+    /// Execute the full reproduction through the streaming ingest engine
+    /// (topology from [`StudyConfig::engine`]).
+    ///
+    /// The report is a pure function of `(config, seed)`: any worker or
+    /// shard count produces byte-identical output (asserted by the
+    /// engine determinism suite against [`Study::run_reference`]).
+    pub fn run(&self) -> Result<ExperimentReport> {
+        self.run_inner(false)
+    }
+
+    /// Execute the full reproduction through the sequential reference
+    /// [`Pipeline`] instead of the engine. Kept as the executable
+    /// specification the engine is compared against.
+    pub fn run_reference(&self) -> Result<ExperimentReport> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&self, reference: bool) -> Result<ExperimentReport> {
         let cfg = &self.config;
         let seed = cfg.seed;
         let obs = &self.registry;
@@ -240,31 +346,25 @@ impl Study {
                 ),
             ],
         );
-        let extractor_sample: Vec<_> = gen
-            .proof_of_work_sample(cfg.extractor_sample)
-            .into_iter()
-            .map(|(doc, persona)| {
-                let truth = doc.truth.as_dox().expect("PoW docs are doxes").clone();
-                (doc.body, truth, persona)
-            })
-            .collect();
+        let mut extractor_sample = Vec::with_capacity(cfg.extractor_sample);
+        for (doc, persona) in gen.proof_of_work_sample(cfg.extractor_sample) {
+            let truth = doc.truth.as_dox().cloned().ok_or_else(|| {
+                Error::Training(format!("proof-of-work doc {} is not labeled a dox", doc.id))
+            })?;
+            extractor_sample.push((doc.body, truth, persona));
+        }
         let extractor_eval = evaluate_extractor(&extractor_sample);
         drop(phase);
 
-        // 3. Collection + pipeline, recording ground-truth dox events. The
-        // pure classify/extract work runs on all cores in day-sized
-        // batches; results are bit-identical to sequential processing.
+        // 3. Collection + pipeline, recording ground-truth dox events.
+        // The streaming engine fans the pure classify/extract work over
+        // its worker pool and shards dedup state; results are
+        // bit-identical to the sequential reference pipeline.
         let phase = StageSpan::enter(obs, "study.phase.collection");
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        obs.gauge("pipeline.batch.threads")
-            .set(i64::try_from(threads).unwrap_or(i64::MAX));
-        const BATCH: usize = 8_192;
-        let mut pipeline = Pipeline::with_registry(classifier, obs);
         let mut collector = Collector::new(seed);
         let mut events: Vec<DoxEvent> = Vec::new();
-        for period in [1u8, 2] {
-            let mut batch: Vec<dox_sites::collect::CollectedDoc> = Vec::with_capacity(BATCH);
-            collector.collect_period(&mut gen, period, &mut |collected| {
+        let record_event =
+            |events: &mut Vec<DoxEvent>, collected: &dox_sites::collect::CollectedDoc| {
                 if let Some(truth) = collected.doc.truth.as_dox() {
                     if truth.duplicate_of.is_none() {
                         events.push(DoxEvent {
@@ -273,23 +373,61 @@ impl Study {
                         });
                     }
                 }
-                batch.push(collected);
-                if batch.len() >= BATCH {
-                    pipeline.process_batch(&batch, period, threads);
-                    batch.clear();
+            };
+        let output: PipelineOutput = if reference {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            obs.gauge("pipeline.batch.threads")
+                .set(i64::try_from(threads).unwrap_or(i64::MAX));
+            const BATCH: usize = 8_192;
+            let mut pipeline = Pipeline::with_registry(classifier, obs);
+            for period in [1u8, 2] {
+                let mut batch: Vec<dox_sites::collect::CollectedDoc> = Vec::with_capacity(BATCH);
+                let _ = collector.collect_period(&mut gen, period, &mut |collected| {
+                    record_event(&mut events, &collected);
+                    batch.push(collected);
+                    if batch.len() >= BATCH {
+                        pipeline.process_batch(&batch, period, threads);
+                        batch.clear();
+                    }
+                    ControlFlow::Continue(())
+                });
+                pipeline.process_batch(&batch, period, threads);
+            }
+            pipeline.into_output()
+        } else {
+            let engine = Engine::from_config(cfg.engine.clone())?;
+            let detector: Arc<dyn DoxDetector> = Arc::new(classifier);
+            let mut session = engine.session_with_registry(detector, obs);
+            let mut ingest_err = None;
+            'collect: for period in [1u8, 2] {
+                let flow = collector.collect_period(&mut gen, period, &mut |collected| {
+                    record_event(&mut events, &collected);
+                    match session.ingest(period, collected) {
+                        Ok(()) => ControlFlow::Continue(()),
+                        Err(e) => {
+                            ingest_err = Some(e);
+                            ControlFlow::Break(())
+                        }
+                    }
+                });
+                if flow == ControlFlow::Break(()) {
+                    break 'collect;
                 }
-            });
-            pipeline.process_batch(&batch, period, threads);
-        }
+            }
+            if let Some(e) = ingest_err {
+                return Err(e.into());
+            }
+            session.finish()?
+        };
         obs.events().emit(
             Level::Info,
             "study",
             "collection complete",
             vec![
-                ("documents".into(), pipeline.counters().total.to_string()),
+                ("documents".into(), output.counters().total.to_string()),
                 (
                     "classified_dox".into(),
-                    pipeline.counters().classified_dox.to_string(),
+                    output.counters().classified_dox.to_string(),
                 ),
             ],
         );
@@ -344,7 +482,7 @@ impl Study {
         let phase = StageSpan::enter(obs, "study.phase.monitoring");
         let mut monitor = Monitor::with_registry(cfg.schedule.clone(), obs);
         let mut monitored_ids: Vec<AccountId> = Vec::new();
-        let unique: Vec<&crate::pipeline::DetectedDox> = pipeline.unique_doxes().collect();
+        let unique: Vec<&crate::pipeline::DetectedDox> = output.unique_doxes().collect();
         for d in &unique {
             for r in &d.extracted.osn {
                 // Skype has no profile page to probe (§3.1.5 monitors the
@@ -399,7 +537,7 @@ impl Study {
 
         // 6. Analyses.
         let phase = StageSpan::enter(obs, "study.phase.analysis");
-        let detected = pipeline.detected();
+        let detected = output.detected();
         let labeled = label_sample(detected, &cfg.labeling, seed);
         let labeled_per_period = [
             labeled.iter().filter(|l| l.period == 1).count(),
@@ -476,7 +614,7 @@ impl Study {
             .hub()
             .pastebin()
             .deletion_survey(periods.period1, SimDuration::from_days(30), &|id| {
-                pipeline.labeled_dox(id)
+                output.labeled_dox(id)
             })
             .into();
 
@@ -484,8 +622,8 @@ impl Study {
             validate_by_ip(detected, &world, &geoip, cfg.ip_validation_sample, seed);
         drop(phase);
 
-        ExperimentReport {
-            pipeline: pipeline.counters().clone(),
+        Ok(ExperimentReport {
+            pipeline: output.counters().clone(),
             classifier: classifier_summary,
             extractor: extractor_eval,
             deletion,
@@ -495,7 +633,7 @@ impl Study {
             community: community_breakdown(&labeled),
             motivation: motivation_breakdown(&labeled),
             osn_presence: osn_presence(detected),
-            sources: source_breakdown(pipeline.counters(), detected),
+            sources: source_breakdown(output.counters(), detected),
             status_changes,
             control_row,
             control_row_active,
@@ -507,8 +645,8 @@ impl Study {
             ip_validation,
             monitored_per_network,
             truth_total_doxes: cfg.synth.total_doxes(),
-            detection: pipeline.detection_quality(),
-        }
+            detection: output.detection_quality(),
+        })
     }
 }
 
@@ -521,7 +659,11 @@ mod tests {
     fn report() -> &'static ExperimentReport {
         use std::sync::OnceLock;
         static REPORT: OnceLock<ExperimentReport> = OnceLock::new();
-        REPORT.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+        REPORT.get_or_init(|| {
+            Study::new(StudyConfig::test_scale())
+                .run()
+                .expect("test-scale study runs")
+        })
     }
 
     #[test]

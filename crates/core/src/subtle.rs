@@ -133,7 +133,7 @@ mod tests {
             let (classifier, _) = crate::training::DoxClassifier::train(&texts, &labels, 88);
             let mut docs = Vec::new();
             for period in [1u8, 2] {
-                gen.generate_period(period, &mut |d| {
+                let _ = gen.generate_period(period, &mut |d| {
                     let text = if d.source.is_html() {
                         dox_textkit::html::html_to_text(&d.body)
                     } else {
@@ -144,6 +144,7 @@ mod tests {
                         None => (false, false),
                     };
                     docs.push((text, is_dox, subtle));
+                    std::ops::ControlFlow::Continue(())
                 });
             }
             Fixture { classifier, docs }

@@ -13,6 +13,7 @@ use dox_textkit::tfidf::{TfidfConfig, TfidfVectorizer};
 use serde::{Deserialize, Serialize};
 
 /// The trained classifier stage: vectorizer plus linear model.
+#[derive(Clone)]
 pub struct DoxClassifier {
     vectorizer: TfidfVectorizer,
     model: SgdClassifier,
@@ -96,6 +97,14 @@ impl DoxClassifier {
             .into_iter()
             .filter_map(|(idx, w)| tokens.get(idx as usize).map(|t| (t.to_string(), w)))
             .collect()
+    }
+}
+
+/// The trained classifier is the engine's classification stage: this is
+/// the only coupling between `dox-core` and the generic streaming engine.
+impl dox_engine::DoxDetector for DoxClassifier {
+    fn is_dox(&self, text: &str) -> bool {
+        DoxClassifier::is_dox(self, text)
     }
 }
 

@@ -1,4 +1,5 @@
-//! De-duplication (paper §3.1.4).
+//! De-duplication (paper §3.1.4), including the shard routing that lets
+//! the engine run many de-duplicators in parallel.
 //!
 //! Two passes, in the paper's order:
 //!
@@ -12,6 +13,19 @@
 //! A third, optional fuzzy pass (SimHash near-duplicate detection) is
 //! provided for the ablation benchmarks; it is **off** in the paper
 //! configuration.
+//!
+//! ## Sharding
+//!
+//! [`Deduplicator`] is stateful and order-sensitive, which is why the
+//! original pipeline ran it serially. But the state two documents share is
+//! fully determined by their *routing signature* ([`shard_signature`]):
+//! the account-set key when one is extracted, otherwise the body hash.
+//! Extraction is a pure function of the body, so byte-identical bodies
+//! always carry identical account sets — every pair of documents that
+//! could ever match lands on the same signature, and therefore on the
+//! same shard under [`shard_of`]. Running one `Deduplicator` per shard
+//! over each shard's documents *in stream order* yields verdicts
+//! bit-identical to one global deduplicator over the whole stream.
 
 use dox_extract::record::ExtractedDox;
 use dox_osn::network::Network;
@@ -31,10 +45,44 @@ pub enum DuplicateKind {
     Fuzzy,
 }
 
+/// The stable routing signature of one classified dox: the hash of its
+/// non-empty account-set key, else the hash of its body.
+///
+/// Two documents that the §3.1.4 rules could ever pair (equal bodies or
+/// equal non-empty account sets) always produce the same signature, so
+/// routing by `signature % shards` never splits a duplicate pair across
+/// de-duplication shards.
+pub fn shard_signature(body: &str, extracted: &ExtractedDox) -> u64 {
+    let key = extracted.account_set_key();
+    if key.is_empty() {
+        fnv1a(body.as_bytes())
+    } else {
+        account_set_signature(&key)
+    }
+}
+
+/// The stable hash of a (sorted) account-set key.
+pub fn account_set_signature(key: &[(Network, String)]) -> u64 {
+    let mut bytes = Vec::with_capacity(key.len() * 16);
+    for (network, handle) in key {
+        bytes.extend_from_slice(network.name().as_bytes());
+        bytes.push(0x1F);
+        bytes.extend_from_slice(handle.as_bytes());
+        bytes.push(0x1E);
+    }
+    fnv1a(&bytes)
+}
+
+/// The shard a signature routes to, for an `shards`-way split.
+pub fn shard_of(signature: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard counts are validated at engine build");
+    (signature % shards.max(1) as u64) as usize
+}
+
 /// Streaming de-duplicator.
 ///
 /// ```
-/// use dox_core::dedup::{Deduplicator, DuplicateKind};
+/// use dox_engine::dedup::{Deduplicator, DuplicateKind};
 /// use dox_extract::extract;
 ///
 /// let body = "Name: A Person\nfb: a.person9";
@@ -92,6 +140,12 @@ impl Deduplicator {
     }
 
     /// A deduplicator with the fuzzy SimHash pass enabled.
+    ///
+    /// The fuzzy pass matches on body similarity alone, which the routing
+    /// signature does not preserve — a fuzzy deduplicator is only sound
+    /// unsharded. The engine always builds paper-configuration (non-fuzzy)
+    /// deduplicators; the fuzzy pass exists for the sequential ablation
+    /// benchmarks.
     pub fn with_fuzzy(threshold: u32) -> Self {
         Self {
             fuzzy_threshold: Some(threshold),
@@ -237,5 +291,68 @@ mod tests {
         assert_eq!(d.counts.exact, 1);
         assert_eq!(d.counts.account_set, 1);
         assert_eq!(d.counts.unique(), 2);
+    }
+
+    #[test]
+    fn matching_docs_share_a_signature_and_shard() {
+        // Reworded duplicates (same account set, different bodies).
+        let a = extract(DOX_A);
+        let b = extract(DOX_A_REWORDED);
+        assert_eq!(a.account_set_key(), b.account_set_key());
+        assert_eq!(
+            shard_signature(DOX_A, &a),
+            shard_signature(DOX_A_REWORDED, &b)
+        );
+        // Exact reposts (same body, extraction is pure so same record).
+        assert_eq!(shard_signature(DOX_A, &a), shard_signature(DOX_A, &a));
+        // Different victims usually diverge.
+        let c = extract(DOX_B);
+        assert_ne!(shard_signature(DOX_A, &a), shard_signature(DOX_B, &c));
+        for shards in [1usize, 2, 7, 8] {
+            assert_eq!(
+                shard_of(shard_signature(DOX_A, &a), shards),
+                shard_of(shard_signature(DOX_A_REWORDED, &b), shards)
+            );
+            assert!(shard_of(shard_signature(DOX_B, &c), shards) < shards);
+        }
+    }
+
+    #[test]
+    fn sharded_dedup_matches_global_dedup() {
+        // The soundness claim behind the engine: per-shard deduplicators,
+        // each fed its shard's documents in stream order, reproduce the
+        // global deduplicator's verdicts exactly.
+        let docs: Vec<&str> = vec![
+            DOX_A,
+            "random paste with no accounts",
+            DOX_A_REWORDED,
+            DOX_B,
+            DOX_A_REWORDED,
+            "random paste with no accounts",
+            DOX_B,
+        ];
+        let records: Vec<ExtractedDox> = docs.iter().map(|d| extract(d)).collect();
+
+        let mut global = Deduplicator::new();
+        let global_verdicts: Vec<_> = docs
+            .iter()
+            .zip(&records)
+            .enumerate()
+            .map(|(i, (body, rec))| global.check(i as u64, body, rec))
+            .collect();
+
+        for shards in [1usize, 2, 3, 8] {
+            let mut pool: Vec<Deduplicator> = (0..shards).map(|_| Deduplicator::new()).collect();
+            let sharded: Vec<_> = docs
+                .iter()
+                .zip(&records)
+                .enumerate()
+                .map(|(i, (body, rec))| {
+                    let shard = shard_of(shard_signature(body, rec), shards);
+                    pool[shard].check(i as u64, body, rec)
+                })
+                .collect();
+            assert_eq!(sharded, global_verdicts, "shards = {shards}");
+        }
     }
 }

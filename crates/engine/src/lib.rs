@@ -1,0 +1,280 @@
+//! `dox-engine` — the sharded streaming ingest engine.
+//!
+//! The batch pipeline in `dox-core` processes the collected corpus in
+//! fill-then-drain batches: collect 8 k documents, block, fan the pure
+//! stage out, reduce, repeat. This crate replaces that with a streaming
+//! topology — a bounded work queue with real backpressure, a pool of
+//! stage workers, dedup state sharded by account-set signature, and
+//! sequence-number reorder buffers in front of every stateful commit —
+//! while keeping the output **byte-identical** to a sequential pass for
+//! any `(workers, shards)` configuration. Determinism is the contract:
+//! an [`crate::output::PipelineOutput`] is a pure function of the
+//! document stream, never of thread scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use dox_engine::{DoxDetector, Engine};
+//! use std::sync::Arc;
+//!
+//! struct Keyword;
+//! impl DoxDetector for Keyword {
+//!     fn is_dox(&self, text: &str) -> bool { text.contains("dox") }
+//! }
+//!
+//! let engine = Engine::builder().workers(2).shards(4).build()?;
+//! let registry = dox_obs::Registry::new();
+//! let mut session = engine.session_with_registry(Arc::new(Keyword), &registry);
+//! // session.ingest(period, collected_doc)? for every document…
+//! let output = session.finish()?;
+//! assert_eq!(output.counters().total, 0);
+//! # Ok::<(), dox_engine::EngineError>(())
+//! ```
+//!
+//! The engine deliberately knows nothing about the trained classifier in
+//! `dox-core`: it accepts anything implementing [`DoxDetector`], which is
+//! what lets `dox-core` sit *above* this crate and re-export it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod dedup;
+pub mod output;
+pub mod queue;
+pub mod reorder;
+pub mod session;
+pub mod stage;
+
+pub use dedup::{Deduplicator, DuplicateKind};
+pub use output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
+pub use session::Session;
+pub use stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
+
+use dox_obs::Registry;
+use std::sync::Arc;
+
+/// Errors from building an engine or running a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// `workers` was zero — nothing would ever pop the work queue.
+    ZeroWorkers,
+    /// `shards` was zero — no dedup shard to route doxes to.
+    ZeroShards,
+    /// `queue_depth` was zero — the first push would deadlock.
+    ZeroQueueDepth,
+    /// `chunk` was zero — chunks could never fill and dispatch.
+    ZeroChunk,
+    /// `ingest` was handed a period outside the study's two collection
+    /// periods.
+    InvalidPeriod(u8),
+    /// A stage queue was closed while the session was still feeding it
+    /// (only possible if a downstream thread died).
+    Disconnected,
+    /// A named engine thread panicked.
+    StageFailed(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ZeroWorkers => write!(f, "engine needs at least one stage worker"),
+            EngineError::ZeroShards => write!(f, "engine needs at least one dedup shard"),
+            EngineError::ZeroQueueDepth => write!(f, "engine queue depth must be at least 1"),
+            EngineError::ZeroChunk => write!(f, "engine chunk size must be at least 1"),
+            EngineError::InvalidPeriod(p) => {
+                write!(f, "period {p} is not a collection period (expected 1 or 2)")
+            }
+            EngineError::Disconnected => write!(f, "engine stage disconnected mid-stream"),
+            EngineError::StageFailed(stage) => write!(f, "engine {stage} thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Tuning knobs for the ingest topology. None of them affect the result —
+/// only throughput and memory. Build one through [`Engine::builder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Stage worker threads running the pure classify/extract stage.
+    pub workers: usize,
+    /// Dedup shards (each owns an isolated [`Deduplicator`]).
+    pub shards: usize,
+    /// Bounded depth, in chunks, of the work and staged queues — the
+    /// backpressure window.
+    pub queue_depth: usize,
+    /// Documents per work chunk (amortizes queue handoff).
+    pub chunk: usize,
+}
+
+impl Default for EngineConfig {
+    /// Workers default to the machine's available parallelism; topology
+    /// never changes results, so the default favors throughput.
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shards: 8,
+            queue_depth: 4,
+            chunk: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), EngineError> {
+        if self.workers == 0 {
+            return Err(EngineError::ZeroWorkers);
+        }
+        if self.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        if self.queue_depth == 0 {
+            return Err(EngineError::ZeroQueueDepth);
+        }
+        if self.chunk == 0 {
+            return Err(EngineError::ZeroChunk);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Engine`] — the crate's front door.
+///
+/// ```
+/// let engine = dox_engine::Engine::builder()
+///     .workers(4)
+///     .shards(8)
+///     .queue_depth(4)
+///     .build()
+///     .expect("non-zero topology");
+/// assert_eq!(engine.config().workers, 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+#[must_use = "builders do nothing until build() is called"]
+pub struct EngineBuilder {
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Set the stage worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Set the dedup shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Set the bounded queue depth, in chunks.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Set the number of documents batched per work chunk.
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.config.chunk = chunk;
+        self
+    }
+
+    /// Validate the topology and produce the engine.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        self.config.validate()?;
+        Ok(Engine {
+            config: self.config,
+        })
+    }
+}
+
+/// A validated ingest topology. Cheap to clone; spawns threads only when
+/// a [`Session`] starts.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Build directly from a config (equivalent to the builder).
+    pub fn from_config(config: EngineConfig) -> Result<Self, EngineError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The validated topology.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Start a session reporting into the process-global metrics
+    /// registry.
+    pub fn session(&self, classifier: Arc<dyn DoxDetector>) -> Session {
+        self.session_with_registry(classifier, dox_obs::global())
+    }
+
+    /// Start a session reporting into an explicit registry (tests and
+    /// side-by-side runs want isolated metrics).
+    pub fn session_with_registry(
+        &self,
+        classifier: Arc<dyn DoxDetector>,
+        registry: &Registry,
+    ) -> Session {
+        Session::spawn(&self.config, classifier, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_zero_workers() {
+        assert_eq!(
+            Engine::builder().workers(0).build().unwrap_err(),
+            EngineError::ZeroWorkers
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_queue_depth() {
+        assert_eq!(
+            Engine::builder().queue_depth(0).build().unwrap_err(),
+            EngineError::ZeroQueueDepth
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards_and_chunk() {
+        assert_eq!(
+            Engine::builder().shards(0).build().unwrap_err(),
+            EngineError::ZeroShards
+        );
+        assert_eq!(
+            Engine::builder().chunk(0).build().unwrap_err(),
+            EngineError::ZeroChunk
+        );
+    }
+
+    #[test]
+    fn defaults_are_usable() {
+        let engine = Engine::builder().build().expect("defaults valid");
+        assert!(engine.config().workers >= 1);
+        assert!(engine.config().queue_depth >= 1);
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        assert!(EngineError::InvalidPeriod(7).to_string().contains('7'));
+        assert!(EngineError::StageFailed("router")
+            .to_string()
+            .contains("router"));
+    }
+}

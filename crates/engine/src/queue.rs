@@ -1,0 +1,201 @@
+//! A bounded multi-producer/multi-consumer work queue, hand-rolled on
+//! `std::sync::{Mutex, Condvar}` (this workspace vendors no lock-free
+//! channel crates, and the pipeline's throughput is dominated by the stage
+//! work, not queue handoff).
+//!
+//! Semantics:
+//!
+//! * [`Queue::push`] blocks while the queue is at capacity — this is the
+//!   engine's backpressure: a fast producer is paced by the slowest
+//!   consumer instead of buffering the whole corpus in memory.
+//! * [`Queue::pop`] blocks while the queue is empty and returns `None`
+//!   only once the queue has been [closed](Queue::close) **and** drained,
+//!   so consumers can use `while let Some(item) = q.pop()` as their whole
+//!   run loop.
+//! * [`Queue::close`] wakes every waiter; pushes after close fail and
+//!   return the rejected item.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// What a successful [`Queue::push`] observed — the raw material for the
+/// engine's backpressure metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct Pushed {
+    /// Time spent blocked waiting for capacity (zero when the queue had
+    /// room immediately).
+    pub stalled_for: Duration,
+    /// Queue depth right after the push (including the pushed item).
+    pub depth: usize,
+}
+
+/// The bounded MPMC queue.
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Queue<T> {
+    /// A queue holding at most `capacity` items (`capacity` ≥ 1; a zero
+    /// capacity would deadlock the first push and is rejected upstream by
+    /// the engine builder).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Push one item, blocking while the queue is full. Returns the
+    /// rejected item if the queue was closed before space opened up.
+    pub fn push(&self, item: T) -> Result<Pushed, T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut stalled_for = Duration::ZERO;
+        if state.buf.len() >= self.capacity && !state.closed {
+            let start = Instant::now();
+            while state.buf.len() >= self.capacity && !state.closed {
+                state = self.not_full.wait(state).expect("queue lock poisoned");
+            }
+            stalled_for = start.elapsed();
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.buf.push_back(item);
+        let depth = state.buf.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(Pushed { stalled_for, depth })
+    }
+
+    /// Pop one item, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, new pushes fail,
+    /// and every blocked waiter wakes up.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current depth (racy by nature; for gauges only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").buf.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for gauges only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = Queue::bounded(4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Queue::bounded(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err(), "push after close is rejected");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_consumer_makes_room() {
+        let q = Arc::new(Queue::bounded(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).map(|p| p.stalled_for))
+        };
+        // Give the producer time to block, then drain.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        let stalled = producer.join().unwrap().expect("push succeeds");
+        assert!(stalled >= Duration::from_millis(5), "producer stalled");
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn mpmc_transfers_every_item_exactly_once() {
+        let q = Arc::new(Queue::bounded(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        q.push(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..500).chain(1000..1500).collect();
+        assert_eq!(all, expect);
+    }
+}

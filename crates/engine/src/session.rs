@@ -1,0 +1,578 @@
+//! A live ingest session: the engine's thread topology and the
+//! deterministic commit protocol.
+//!
+//! ```text
+//! caller ──ingest()──▶ [work queue] ──▶ stage workers (×W, pure)
+//!                                             │
+//!                                     [staged queue]
+//!                                             │
+//!                                      router (reorders by chunk seq,
+//!                                       commits doc-level counters,
+//!                                       stamps dox_seq, routes by
+//!                                       shard_signature)
+//!                                        │   …   │
+//!                                 [shard queues ×S]
+//!                                        │   …   │
+//!                               dedup shards (stateful, isolated)
+//!                                        │   …   │
+//!                                   [verdict queue]
+//!                                             │
+//!                                      committer (reorders by dox_seq,
+//!                                       commits duplicate counters and
+//!                                       the detected-dox log)
+//! ```
+//!
+//! Determinism: the stage workers are pure, so only the two stateful
+//! commit points matter. The router observes chunks through a
+//! [`ReorderBuffer`] keyed on the chunk sequence number, so counters and
+//! `dox_seq` assignment happen in exact ingest order; dedup shards each
+//! own every document that could ever match each other (see
+//! [`crate::dedup::shard_signature`]) and process them in `dox_seq` order
+//! because their queues are FIFO and the router feeds them in order; the
+//! committer reorders verdicts back into `dox_seq` order before touching
+//! the duplicate counters and the detected log. The result is
+//! byte-identical to one sequential pass for any `(workers, shards)`.
+
+use crate::dedup::{shard_of, shard_signature, Deduplicator, DuplicateKind};
+use crate::output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
+use crate::queue::Queue;
+use crate::reorder::ReorderBuffer;
+use crate::stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
+use crate::{EngineConfig, EngineError};
+use dox_obs::{Counter, Gauge, Histogram, Registry};
+use dox_osn::clock::SimTime;
+use dox_sites::collect::CollectedDoc;
+use dox_synth::corpus::Source;
+use dox_synth::truth::{DoxTruth, GroundTruth};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A batch of collected documents, stamped with the chunk sequence
+/// number the router reorders on. Each document carries its collection
+/// period (1 or 2).
+struct WorkChunk {
+    seq: u64,
+    docs: Vec<(u8, CollectedDoc)>,
+}
+
+/// A chunk after the pure stage: same sequence number, each document now
+/// paired with its classification/extraction outcome.
+struct StagedChunk {
+    seq: u64,
+    items: Vec<(u8, CollectedDoc, StagedDoc)>,
+}
+
+/// One classified dox on its way to a dedup shard.
+struct DoxJob {
+    dox_seq: u64,
+    period: u8,
+    doc_id: u64,
+    source: Source,
+    posted_at: SimTime,
+    observed_at: SimTime,
+    text: String,
+    extracted: dox_extract::record::ExtractedDox,
+    truth: Option<Box<DoxTruth>>,
+}
+
+/// A dedup shard's verdict for one dox.
+struct Verdict {
+    job: DoxJob,
+    duplicate: Option<(DuplicateKind, u64)>,
+}
+
+/// A running ingest session.
+///
+/// Created by [`Engine::session`](crate::Engine::session); feed it with
+/// [`ingest`](Session::ingest) and close it with
+/// [`finish`](Session::finish). The calling thread is the producer: when
+/// the work queue is full, `ingest` blocks — that backpressure is what
+/// bounds memory to roughly `queue_depth × chunk` documents regardless of
+/// corpus size.
+pub struct Session {
+    chunk: usize,
+    next_chunk_seq: u64,
+    buf: Vec<(u8, CollectedDoc)>,
+    work: Arc<Queue<WorkChunk>>,
+    staged: Arc<Queue<StagedChunk>>,
+    shard_queues: Vec<Arc<Queue<DoxJob>>>,
+    verdicts: Arc<Queue<Verdict>>,
+    stage_workers: Vec<JoinHandle<()>>,
+    router: Option<JoinHandle<(PipelineCounters, HashSet<u64>)>>,
+    shard_workers: Vec<JoinHandle<()>>,
+    committer: Option<JoinHandle<(Vec<DetectedDox>, PipelineCounters)>>,
+    queue_depth: Gauge,
+    stalls: Counter,
+    stall_ns: Histogram,
+}
+
+impl Session {
+    pub(crate) fn spawn(
+        config: &EngineConfig,
+        classifier: Arc<dyn DoxDetector>,
+        registry: &Registry,
+    ) -> Self {
+        let work: Arc<Queue<WorkChunk>> = Arc::new(Queue::bounded(config.queue_depth));
+        let staged: Arc<Queue<StagedChunk>> = Arc::new(Queue::bounded(config.queue_depth));
+        let shard_queues: Vec<Arc<Queue<DoxJob>>> = (0..config.shards)
+            .map(|_| Arc::new(Queue::bounded(config.queue_depth.max(4) * config.chunk)))
+            .collect();
+        let verdicts: Arc<Queue<Verdict>> =
+            Arc::new(Queue::bounded(config.queue_depth * config.chunk));
+
+        let stage_metrics = StageMetrics::resolve(registry);
+        let collected = registry.counter("pipeline.funnel.collected");
+        let classified_dox = registry.counter("pipeline.funnel.classified_dox");
+        let duplicates = registry.counter("pipeline.funnel.duplicates");
+        let unique = registry.counter("pipeline.funnel.unique");
+        let dedup_ns = registry.histogram("pipeline.stage.dedup");
+        registry.gauge("engine.workers").set(config.workers as i64);
+        registry.gauge("engine.shards").set(config.shards as i64);
+
+        let stage_workers = (0..config.workers)
+            .map(|_| {
+                let work = Arc::clone(&work);
+                let staged = Arc::clone(&staged);
+                let classifier = Arc::clone(&classifier);
+                let stage_metrics = stage_metrics.clone();
+                std::thread::spawn(move || {
+                    while let Some(chunk) = work.pop() {
+                        let mut timings = StageLocal::default();
+                        let items = chunk
+                            .docs
+                            .into_iter()
+                            .map(|(period, doc)| {
+                                let outcome = classify_and_extract(&classifier, &doc, &mut timings);
+                                (period, doc, outcome)
+                            })
+                            .collect();
+                        timings.merge_into(&stage_metrics);
+                        if staged
+                            .push(StagedChunk {
+                                seq: chunk.seq,
+                                items,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let router = {
+            let staged = Arc::clone(&staged);
+            let shard_queues = shard_queues.clone();
+            let shards = config.shards;
+            let shard_docs: Vec<Counter> = (0..shards)
+                .map(|i| registry.counter(&format!("engine.shard.{i}.docs")))
+                .collect();
+            std::thread::spawn(move || {
+                let mut reorder = ReorderBuffer::new();
+                let mut counters = PipelineCounters::default();
+                let mut dox_ids = HashSet::new();
+                let mut dox_seq = 0u64;
+                'drain: while let Some(chunk) = staged.pop() {
+                    reorder.push(chunk.seq, chunk.items);
+                    while let Some(items) = reorder.pop_ready() {
+                        for (period, doc, outcome) in items {
+                            let CollectedDoc { doc, collected_at } = doc;
+                            let slot = usize::from(period - 1);
+                            counters.total += 1;
+                            counters.per_period[slot] += 1;
+                            *counters
+                                .per_source
+                                .entry(doc.source.name().to_string())
+                                .or_insert(0) += 1;
+                            collected.inc();
+                            let Some((text, extracted)) = outcome else {
+                                continue;
+                            };
+                            counters.classified_dox += 1;
+                            counters.dox_per_period[slot] += 1;
+                            classified_dox.inc();
+                            dox_ids.insert(doc.id);
+                            let shard = shard_of(shard_signature(&text, &extracted), shards);
+                            shard_docs[shard].inc();
+                            let truth = match doc.truth {
+                                GroundTruth::Dox(t) => Some(t),
+                                GroundTruth::Paste { .. } => None,
+                            };
+                            let job = DoxJob {
+                                dox_seq,
+                                period,
+                                doc_id: doc.id,
+                                source: doc.source,
+                                posted_at: doc.posted_at,
+                                observed_at: collected_at,
+                                text,
+                                extracted,
+                                truth,
+                            };
+                            dox_seq += 1;
+                            if shard_queues[shard].push(job).is_err() {
+                                break 'drain;
+                            }
+                        }
+                    }
+                }
+                (counters, dox_ids)
+            })
+        };
+
+        let shard_workers = shard_queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let q = Arc::clone(q);
+                let verdicts = Arc::clone(&verdicts);
+                let dedup_ns = dedup_ns.clone();
+                let shard_ns = registry.histogram(&format!("engine.shard.{i}.dedup_ns"));
+                std::thread::spawn(move || {
+                    let mut dedup = Deduplicator::new();
+                    while let Some(job) = q.pop() {
+                        let start = Instant::now();
+                        let duplicate = dedup.check(job.doc_id, &job.text, &job.extracted);
+                        let elapsed = start.elapsed();
+                        dedup_ns.observe_duration(elapsed);
+                        shard_ns.observe_duration(elapsed);
+                        if verdicts.push(Verdict { job, duplicate }).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let committer = {
+            let verdicts = Arc::clone(&verdicts);
+            std::thread::spawn(move || {
+                let mut reorder = ReorderBuffer::new();
+                let mut counters = PipelineCounters::default();
+                let mut detected = Vec::new();
+                while let Some(verdict) = verdicts.pop() {
+                    reorder.push(verdict.job.dox_seq, verdict);
+                    while let Some(Verdict { job, duplicate }) = reorder.pop_ready() {
+                        match duplicate {
+                            Some((kind, _)) => {
+                                counters.duplicates_per_period[usize::from(job.period - 1)] += 1;
+                                duplicates.inc();
+                                match kind {
+                                    DuplicateKind::ExactBody => counters.exact_duplicates += 1,
+                                    DuplicateKind::AccountSet => {
+                                        counters.account_set_duplicates += 1
+                                    }
+                                    DuplicateKind::Fuzzy => {}
+                                }
+                            }
+                            None => unique.inc(),
+                        }
+                        detected.push(DetectedDox {
+                            doc_id: job.doc_id,
+                            source: job.source,
+                            period: job.period,
+                            posted_at: job.posted_at,
+                            observed_at: job.observed_at,
+                            text: job.text,
+                            extracted: job.extracted,
+                            duplicate,
+                            truth: job.truth,
+                        });
+                    }
+                }
+                (detected, counters)
+            })
+        };
+
+        Self {
+            chunk: config.chunk,
+            next_chunk_seq: 0,
+            buf: Vec::with_capacity(config.chunk),
+            work,
+            staged,
+            shard_queues,
+            verdicts,
+            stage_workers,
+            router: Some(router),
+            shard_workers,
+            committer: Some(committer),
+            queue_depth: registry.gauge("engine.queue.depth"),
+            stalls: registry.counter("engine.queue.stalls"),
+            stall_ns: registry.histogram("engine.queue.stall_ns"),
+        }
+    }
+
+    /// Feed one collected document from the given period (1 or 2) into
+    /// the engine. Blocks when the work queue is full (backpressure).
+    pub fn ingest(&mut self, period: u8, doc: CollectedDoc) -> Result<(), EngineError> {
+        if !(1..=2).contains(&period) {
+            return Err(EngineError::InvalidPeriod(period));
+        }
+        self.buf.push((period, doc));
+        if self.buf.len() >= self.chunk {
+            self.dispatch()?;
+        }
+        Ok(())
+    }
+
+    /// Flush any buffered partial chunk into the work queue.
+    fn dispatch(&mut self) -> Result<(), EngineError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let docs = std::mem::replace(&mut self.buf, Vec::with_capacity(self.chunk));
+        let seq = self.next_chunk_seq;
+        self.next_chunk_seq += 1;
+        match self.work.push(WorkChunk { seq, docs }) {
+            Ok(pushed) => {
+                self.queue_depth.set(pushed.depth as i64);
+                if pushed.stalled_for > Duration::ZERO {
+                    self.stalls.inc();
+                    self.stall_ns.observe_duration(pushed.stalled_for);
+                }
+                Ok(())
+            }
+            Err(_) => Err(EngineError::Disconnected),
+        }
+    }
+
+    /// Close the stream and wait for every stage to drain, returning the
+    /// combined output. The result is byte-identical to a sequential pass
+    /// over the same documents in the same order.
+    pub fn finish(mut self) -> Result<PipelineOutput, EngineError> {
+        self.dispatch()?;
+        self.work.close();
+        for worker in self.stage_workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| EngineError::StageFailed("stage worker"))?;
+        }
+        self.staged.close();
+        let (mut counters, dox_ids) = self
+            .router
+            .take()
+            .expect("router joined once")
+            .join()
+            .map_err(|_| EngineError::StageFailed("router"))?;
+        for q in &self.shard_queues {
+            q.close();
+        }
+        for worker in self.shard_workers.drain(..) {
+            worker
+                .join()
+                .map_err(|_| EngineError::StageFailed("dedup shard"))?;
+        }
+        self.verdicts.close();
+        let (detected, dedup_counters) = self
+            .committer
+            .take()
+            .expect("committer joined once")
+            .join()
+            .map_err(|_| EngineError::StageFailed("committer"))?;
+        counters.absorb(&dedup_counters);
+        self.queue_depth.set(0);
+        Ok(PipelineOutput {
+            detected,
+            counters,
+            dox_ids,
+        })
+    }
+}
+
+impl Drop for Session {
+    /// Closing every queue lets the worker threads exit if the session is
+    /// dropped without [`finish`](Session::finish); the threads are then
+    /// detached, not joined.
+    fn drop(&mut self) {
+        self.work.close();
+        self.staged.close();
+        for q in &self.shard_queues {
+            q.close();
+        }
+        self.verdicts.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use dox_synth::corpus::SynthDoc;
+    use dox_synth::truth::PasteKind;
+
+    /// A detector that flags documents containing "dox".
+    struct KeywordDetector;
+
+    impl DoxDetector for KeywordDetector {
+        fn is_dox(&self, text: &str) -> bool {
+            text.contains("dox")
+        }
+    }
+
+    fn doc(id: u64, body: &str) -> CollectedDoc {
+        CollectedDoc {
+            doc: SynthDoc {
+                id,
+                source: Source::Pastebin,
+                posted_at: SimTime(id),
+                body: body.to_string(),
+                deleted_after: None,
+                truth: GroundTruth::Paste {
+                    kind: PasteKind::Code,
+                },
+            },
+            collected_at: SimTime(id + 5),
+        }
+    }
+
+    /// A sequential reference: the same commit semantics, single thread.
+    fn sequential(docs: &[(u8, CollectedDoc)]) -> PipelineOutput {
+        let mut out = PipelineOutput::default();
+        let mut dedup = Deduplicator::new();
+        let mut timings = StageLocal::default();
+        for (period, collected) in docs {
+            let slot = usize::from(period - 1);
+            out.counters.total += 1;
+            out.counters.per_period[slot] += 1;
+            *out.counters
+                .per_source
+                .entry(collected.doc.source.name().to_string())
+                .or_insert(0) += 1;
+            let Some((text, extracted)) =
+                classify_and_extract(&KeywordDetector, collected, &mut timings)
+            else {
+                continue;
+            };
+            out.counters.classified_dox += 1;
+            out.counters.dox_per_period[slot] += 1;
+            out.dox_ids.insert(collected.doc.id);
+            let duplicate = dedup.check(collected.doc.id, &text, &extracted);
+            if let Some((kind, _)) = duplicate {
+                out.counters.duplicates_per_period[slot] += 1;
+                match kind {
+                    DuplicateKind::ExactBody => out.counters.exact_duplicates += 1,
+                    DuplicateKind::AccountSet => out.counters.account_set_duplicates += 1,
+                    DuplicateKind::Fuzzy => {}
+                }
+            }
+            out.detected.push(DetectedDox {
+                doc_id: collected.doc.id,
+                source: collected.doc.source,
+                period: *period,
+                posted_at: collected.doc.posted_at,
+                observed_at: collected.collected_at,
+                text,
+                extracted,
+                duplicate,
+                truth: collected.doc.truth.as_dox().map(|t| Box::new(t.clone())),
+            });
+        }
+        out
+    }
+
+    fn corpus() -> Vec<(u8, CollectedDoc)> {
+        let mut docs = Vec::new();
+        for i in 0..200u64 {
+            let body = match i % 5 {
+                0 => format!("dox of victim{} fb: victim{}", i % 7, i % 7),
+                1 => format!("dox drop fb: victim{} tw: alt{}", i % 7, i % 7),
+                2 => "dox of victim3 fb: victim3".to_string(),
+                _ => format!("innocuous paste number {i}"),
+            };
+            let period = if i < 120 { 1 } else { 2 };
+            docs.push((period, doc(i, &body)));
+        }
+        docs
+    }
+
+    fn run_engine(workers: usize, shards: usize, chunk: usize) -> PipelineOutput {
+        let engine = Engine::builder()
+            .workers(workers)
+            .shards(shards)
+            .queue_depth(2)
+            .chunk(chunk)
+            .build()
+            .expect("valid config");
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        for (period, doc) in corpus() {
+            session.ingest(period, doc).expect("period is valid");
+        }
+        session.finish().expect("engine drains cleanly")
+    }
+
+    fn assert_same(a: &PipelineOutput, b: &PipelineOutput) {
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.dox_ids, b.dox_ids);
+        assert_eq!(a.detected.len(), b.detected.len());
+        for (x, y) in a.detected.iter().zip(&b.detected) {
+            assert_eq!(x.doc_id, y.doc_id);
+            assert_eq!(x.duplicate, y.duplicate);
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.period, y.period);
+        }
+    }
+
+    #[test]
+    fn engine_matches_sequential_for_any_topology() {
+        let reference = sequential(&corpus());
+        for (workers, shards, chunk) in [(1, 1, 16), (4, 8, 16), (2, 3, 7), (4, 1, 1)] {
+            let out = run_engine(workers, shards, chunk);
+            assert_same(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn invalid_period_is_rejected_without_killing_the_session() {
+        let engine = Engine::builder().build().expect("default config");
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        assert_eq!(
+            session.ingest(3, doc(1, "x")),
+            Err(EngineError::InvalidPeriod(3))
+        );
+        session
+            .ingest(1, doc(2, "a dox fb: someone"))
+            .expect("valid");
+        let out = session.finish().expect("drains");
+        assert_eq!(out.counters.total, 1, "rejected doc never entered");
+    }
+
+    #[test]
+    fn funnel_metrics_are_recorded() {
+        let engine = Engine::builder().workers(2).shards(2).build().unwrap();
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        for (period, doc) in corpus() {
+            session.ingest(period, doc).unwrap();
+        }
+        let out = session.finish().unwrap();
+        assert_eq!(
+            registry.counter("pipeline.funnel.collected").get(),
+            out.counters.total
+        );
+        assert_eq!(
+            registry.counter("pipeline.funnel.classified_dox").get(),
+            out.counters.classified_dox
+        );
+        assert_eq!(
+            registry.counter("pipeline.funnel.unique").get(),
+            out.unique_doxes().count() as u64
+        );
+        let snapshot = registry.snapshot();
+        assert!(snapshot.spans.contains_key("pipeline.stage.classify"));
+        assert!(snapshot.spans.contains_key("pipeline.stage.dedup"));
+    }
+
+    #[test]
+    fn dropping_a_session_does_not_hang() {
+        let engine = Engine::builder().workers(2).build().unwrap();
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        session.ingest(1, doc(1, "a dox fb: someone")).unwrap();
+        drop(session);
+    }
+}

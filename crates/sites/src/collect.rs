@@ -12,6 +12,7 @@ use dox_osn::clock::{SimDuration, SimTime};
 use dox_synth::corpus::{CorpusGenerator, Source, SynthDoc};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 
 /// One collected document as the pipeline sees it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,14 +69,19 @@ impl Collector {
     /// Collect one period end-to-end: generate, ingest into the sites,
     /// emit collected documents in order.
     ///
+    /// The sink controls the stream: returning
+    /// [`ControlFlow::Break`] stops collection immediately (the document
+    /// that triggered the break has already been ingested into the hub
+    /// and counted). The same `Break` is returned to the caller.
+    ///
     /// # Panics
     /// Panics if `which` is not 1 or 2.
     pub fn collect_period(
         &mut self,
         gen: &mut CorpusGenerator<'_>,
         which: u8,
-        sink: &mut dyn FnMut(CollectedDoc),
-    ) {
+        sink: &mut dyn FnMut(CollectedDoc) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         assert!(which == 1 || which == 2, "periods are 1 and 2");
         let hub = &mut self.hub;
         let stats = if which == 1 {
@@ -88,8 +94,8 @@ impl Collector {
             hub.ingest(&doc);
             stats.bump(doc.source);
             let collected_at = doc.posted_at + latency;
-            sink(CollectedDoc { doc, collected_at });
-        });
+            sink(CollectedDoc { doc, collected_at })
+        })
     }
 
     /// Per-source counters for a period.
@@ -129,8 +135,14 @@ mod tests {
         let mut gen = CorpusGenerator::new(&world, &alloc, config);
         let mut collector = Collector::new(9);
         let mut n = 0u64;
-        collector.collect_period(&mut gen, 1, &mut |_| n += 1);
-        collector.collect_period(&mut gen, 2, &mut |_| n += 1);
+        let _ = collector.collect_period(&mut gen, 1, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        let _ = collector.collect_period(&mut gen, 2, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
         assert_eq!(collector.stats(1).total(), p1_total);
         assert_eq!(collector.stats(2).total(), p2_total);
         assert_eq!(collector.stats(2).count(Source::Chan4B), p2_chan_b);
@@ -142,9 +154,38 @@ mod tests {
         let (world, alloc, config) = setup();
         let mut gen = CorpusGenerator::new(&world, &alloc, config);
         let mut collector = Collector::new(9);
-        collector.collect_period(&mut gen, 1, &mut |c| {
+        let _ = collector.collect_period(&mut gen, 1, &mut |c| {
             assert_eq!(c.collected_at.0, c.doc.posted_at.0 + 5);
+            ControlFlow::Continue(())
         });
+    }
+
+    #[test]
+    fn sink_break_stops_collection_early() {
+        let (world, alloc, config) = setup();
+        let total = config.period1.total();
+        let mut gen = CorpusGenerator::new(&world, &alloc, config);
+        let mut collector = Collector::new(9);
+        let mut n = 0u64;
+        let flow = collector.collect_period(&mut gen, 1, &mut |_| {
+            n += 1;
+            if n == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(n, 3);
+        assert!(
+            collector.stats(1).total() < total,
+            "collection stopped early"
+        );
+        assert_eq!(
+            collector.stats(1).total(),
+            3,
+            "counted exactly what reached the sink"
+        );
     }
 
     #[test]
@@ -153,8 +194,8 @@ mod tests {
         let total = config.total_documents() as usize;
         let mut gen = CorpusGenerator::new(&world, &alloc, config);
         let mut collector = Collector::new(9);
-        collector.collect_period(&mut gen, 1, &mut |_| {});
-        collector.collect_period(&mut gen, 2, &mut |_| {});
+        let _ = collector.collect_period(&mut gen, 1, &mut |_| ControlFlow::Continue(()));
+        let _ = collector.collect_period(&mut gen, 2, &mut |_| ControlFlow::Continue(()));
         assert_eq!(collector.hub().total_ingested(), total);
     }
 }

@@ -96,8 +96,12 @@ mod tests {
         let expected = config.total_documents() as usize;
         let mut gen = CorpusGenerator::new(&world, &alloc, config);
         let mut hub = SiteHub::new(1);
-        gen.generate_period(1, &mut |d| hub.ingest(&d));
-        gen.generate_period(2, &mut |d| hub.ingest(&d));
+        let mut sink = |d: dox_synth::corpus::SynthDoc| {
+            hub.ingest(&d);
+            std::ops::ControlFlow::Continue(())
+        };
+        let _ = gen.generate_period(1, &mut sink);
+        let _ = gen.generate_period(2, &mut sink);
         assert_eq!(hub.total_ingested(), expected);
         assert!(!hub.pastebin().is_empty());
         assert!(!hub.board(Source::Chan4B).unwrap().posts().is_empty());

@@ -22,6 +22,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 /// The text-sharing sources the paper scrapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -152,9 +153,19 @@ impl<'w> CorpusGenerator<'w> {
     /// in chronological order (day-granular batches, time-sorted within a
     /// day so memory stays bounded at paper scale).
     ///
+    /// The sink controls the stream: returning
+    /// [`ControlFlow::Break`] stops
+    /// generation immediately and the same `Break` is returned to the
+    /// caller. An early stop leaves the generator mid-period — only a
+    /// full run keeps the document stream a pure function of the seed.
+    ///
     /// # Panics
     /// Panics if `which` is not 1 or 2.
-    pub fn generate_period(&mut self, which: u8, sink: &mut dyn FnMut(SynthDoc)) {
+    pub fn generate_period(
+        &mut self,
+        which: u8,
+        sink: &mut dyn FnMut(SynthDoc) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         assert!(which == 1 || which == 2, "periods are 1 and 2");
         let (volumes, (start, end), dup_rate) = if which == 1 {
             (
@@ -202,16 +213,25 @@ impl<'w> CorpusGenerator<'w> {
             }
             batch.sort_by_key(|d| d.posted_at);
             for doc in batch {
-                sink(doc);
+                if let ControlFlow::Break(()) = sink(doc) {
+                    return ControlFlow::Break(());
+                }
             }
         }
+        ControlFlow::Continue(())
     }
 
     /// Generate both periods into a vector (small scales / tests only).
     pub fn generate_collect(&mut self) -> Vec<SynthDoc> {
         let mut out = Vec::new();
-        self.generate_period(1, &mut |d| out.push(d));
-        self.generate_period(2, &mut |d| out.push(d));
+        let _ = self.generate_period(1, &mut |d| {
+            out.push(d);
+            ControlFlow::Continue(())
+        });
+        let _ = self.generate_period(2, &mut |d| {
+            out.push(d);
+            ControlFlow::Continue(())
+        });
         out
     }
 
@@ -504,12 +524,30 @@ mod tests {
         let (world, alloc) = fixture();
         let mut gen = CorpusGenerator::new(&world, &alloc, SynthConfig::test_scale());
         let mut sources = HashSet::new();
-        gen.generate_period(1, &mut |d| {
+        let _ = gen.generate_period(1, &mut |d| {
             sources.insert(d.source);
             assert!(d.posted_at < SimTime::from_days(42));
+            ControlFlow::Continue(())
         });
         assert_eq!(sources.len(), 1);
         assert!(sources.contains(&Source::Pastebin));
+    }
+
+    #[test]
+    fn sink_break_stops_generation_early() {
+        let (world, alloc) = fixture();
+        let mut gen = CorpusGenerator::new(&world, &alloc, SynthConfig::test_scale());
+        let mut n = 0u64;
+        let flow = gen.generate_period(1, &mut |_| {
+            n += 1;
+            if n == 10 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(flow, ControlFlow::Break(()));
+        assert_eq!(n, 10, "generation stops at the tenth document");
     }
 
     #[test]
@@ -517,10 +555,11 @@ mod tests {
         let (world, alloc) = fixture();
         let mut gen = CorpusGenerator::new(&world, &alloc, SynthConfig::test_scale());
         let mut sources = HashSet::new();
-        gen.generate_period(2, &mut |d| {
+        let _ = gen.generate_period(2, &mut |d| {
             sources.insert(d.source);
             assert!(d.posted_at >= SimTime::from_days(152));
             assert!(d.posted_at < SimTime::from_days(201));
+            ControlFlow::Continue(())
         });
         assert_eq!(sources.len(), 5);
     }

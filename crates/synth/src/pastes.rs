@@ -5,7 +5,7 @@
 //! depends on the negatives being realistic — including **hard negatives**
 //! that superficially resemble doxes (credential combo dumps, member lists
 //! with emails, filled registration forms). Each generator here produces
-//! one paste kind; [`sample_paste`] mixes them at configurable rates.
+//! one paste kind; [`PasteGenerator::sample_paste`] mixes them at configurable rates.
 
 use crate::markov::MarkovChain;
 use crate::truth::PasteKind;

@@ -18,7 +18,8 @@ use doxing_repro::osn::network::Network;
 fn main() {
     let scale = 0.05;
     println!("running the study at scale {scale} (this takes a few seconds)…\n");
-    let r = Study::new(StudyConfig::at_scale(scale)).run();
+    let cfg = StudyConfig::builder().scale(scale).build();
+    let r = Study::new(cfg).run().expect("study runs");
 
     println!("{}", report::table10(&r));
     println!("{}", report::figure3(&r));

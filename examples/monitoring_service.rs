@@ -72,8 +72,9 @@ fn main() {
     let mut pipeline = Pipeline::new(classifier);
     let mut collector = Collector::new(7);
     for period in [1u8, 2] {
-        collector.collect_period(&mut generator, period, &mut |c| {
+        let _ = collector.collect_period(&mut generator, period, &mut |c| {
             pipeline.process(&c, period);
+            std::ops::ControlFlow::Continue(())
         });
     }
     println!(

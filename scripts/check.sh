@@ -22,6 +22,9 @@ else
     echo "clippy not installed; skipping"
 fi
 
+step "cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 step "cargo build --release"
 cargo build --release
 

@@ -14,21 +14,23 @@
 //! - [`osn`] — simulated online social network platforms and scraping.
 //! - [`sites`] — simulated paste sites (pastebin-like, chan-like boards).
 //! - [`extract`] — OSN account, sensitive-field and credit extraction.
+//! - [`engine`] — the sharded streaming ingest engine.
 //! - [`core`] — the end-to-end measurement pipeline, analyses and reports.
 //! - [`obs`] — metrics, span timing and structured events (dependency-free).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use doxing_repro::core::study::{Study, StudyConfig};
+//! use doxing_repro::core::prelude::*;
 //!
 //! // A miniature end-to-end run of the paper's measurement study.
 //! let cfg = StudyConfig::test_scale();
-//! let report = Study::new(cfg).run();
+//! let report = Study::new(cfg).run().expect("study runs");
 //! assert!(report.pipeline.total > 0);
 //! ```
 
 pub use dox_core as core;
+pub use dox_engine as engine;
 pub use dox_extract as extract;
 pub use dox_geo as geo;
 pub use dox_ml as ml;

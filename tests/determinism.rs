@@ -4,15 +4,15 @@ use doxing_repro::core::report::to_json;
 use doxing_repro::core::study::{Study, StudyConfig};
 use doxing_repro::obs::Registry;
 
+fn json(r: &doxing_repro::core::study::ExperimentReport) -> String {
+    to_json(r).expect("report serializes")
+}
+
 #[test]
 fn same_seed_same_report() {
-    let a = Study::new(StudyConfig::test_scale()).run();
-    let b = Study::new(StudyConfig::test_scale()).run();
-    assert_eq!(
-        to_json(&a),
-        to_json(&b),
-        "study must be fully deterministic"
-    );
+    let a = Study::new(StudyConfig::test_scale()).run().expect("runs");
+    let b = Study::new(StudyConfig::test_scale()).run().expect("runs");
+    assert_eq!(json(&a), json(&b), "study must be fully deterministic");
 }
 
 #[test]
@@ -20,11 +20,11 @@ fn different_seed_different_report() {
     let mut cfg = StudyConfig::test_scale();
     cfg.seed ^= 0xFF;
     cfg.synth.seed = cfg.seed;
-    let a = Study::new(StudyConfig::test_scale()).run();
-    let b = Study::new(cfg).run();
+    let a = Study::new(StudyConfig::test_scale()).run().expect("runs");
+    let b = Study::new(cfg).run().expect("runs");
     assert_ne!(
-        to_json(&a),
-        to_json(&b),
+        json(&a),
+        json(&b),
         "a different seed must change the realized corpus"
     );
     // …but not the configured volumes.
@@ -37,14 +37,16 @@ fn different_seed_different_report() {
 /// have recorded the pipeline funnel.
 #[test]
 fn metrics_collection_never_changes_the_report() {
-    let baseline = Study::new(StudyConfig::test_scale()).run();
+    let baseline = Study::new(StudyConfig::test_scale()).run().expect("runs");
 
     let registry = Registry::new();
-    let observed = Study::with_registry(StudyConfig::test_scale(), registry.clone()).run();
+    let observed = Study::with_registry(StudyConfig::test_scale(), registry.clone())
+        .run()
+        .expect("runs");
 
     assert_eq!(
-        to_json(&baseline),
-        to_json(&observed),
+        json(&baseline),
+        json(&observed),
         "recording metrics must not perturb the deterministic report"
     );
 

@@ -9,7 +9,11 @@ use std::sync::OnceLock;
 /// One shared run per test binary (the study is deterministic).
 fn report() -> &'static ExperimentReport {
     static R: OnceLock<ExperimentReport> = OnceLock::new();
-    R.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+    R.get_or_init(|| {
+        Study::new(StudyConfig::test_scale())
+            .run()
+            .expect("test-scale study runs")
+    })
 }
 
 #[test]
@@ -192,7 +196,7 @@ fn full_report_renders_and_serializes() {
     let r = report();
     let text = report::full_report(r);
     assert!(text.len() > 2000, "report should be substantial");
-    let json = report::to_json(r);
+    let json = report::to_json(r).expect("report serializes");
     let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
     assert_eq!(parsed["pipeline"]["total"].as_u64(), Some(r.pipeline.total));
 }

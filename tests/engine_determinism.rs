@@ -1,0 +1,79 @@
+//! Engine determinism: the sharded streaming engine must produce a report
+//! byte-identical to the sequential reference pipeline, for every topology
+//! and for more than one seed.
+//!
+//! This is the repo's contract that concurrency is an implementation
+//! detail: `ExperimentReport` is a pure function of `(config, seed)` and
+//! the worker/shard topology never leaks into it.
+
+use doxing_repro::core::report::to_json;
+use doxing_repro::core::study::{Study, StudyConfig};
+use doxing_repro::engine::EngineConfig;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+const SEEDS: [u64; 2] = [0xD0C5, 0x5EED_CAFE];
+
+fn config(seed: u64, workers: usize, shards: usize) -> StudyConfig {
+    StudyConfig::builder()
+        .scale(0.005)
+        .seed(seed)
+        .engine(EngineConfig {
+            workers,
+            shards,
+            ..EngineConfig::default()
+        })
+        .build()
+}
+
+/// The sequential reference report for `seed`, serialized. Computed once
+/// per test binary — every topology is compared against it.
+fn reference_json(seed: u64) -> String {
+    static CACHE: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(json) = cache.lock().unwrap().get(&seed) {
+        return json.clone();
+    }
+    let r = Study::new(config(seed, 1, 1))
+        .run_reference()
+        .expect("reference study runs");
+    let json = to_json(&r).expect("report serializes");
+    cache.lock().unwrap().insert(seed, json.clone());
+    json
+}
+
+fn assert_topology_matches_reference(workers: usize, shards: usize) {
+    for seed in SEEDS {
+        let r = Study::new(config(seed, workers, shards))
+            .run()
+            .expect("engine study runs");
+        let json = to_json(&r).expect("report serializes");
+        assert_eq!(
+            json,
+            reference_json(seed),
+            "engine (workers={workers}, shards={shards}, seed={seed:#x}) \
+             must be byte-identical to the sequential pipeline"
+        );
+    }
+}
+
+#[test]
+fn single_worker_single_shard_matches_reference() {
+    assert_topology_matches_reference(1, 1);
+}
+
+#[test]
+fn single_worker_many_shards_matches_reference() {
+    assert_topology_matches_reference(1, 8);
+}
+
+#[test]
+fn many_workers_single_shard_matches_reference() {
+    assert_topology_matches_reference(4, 1);
+}
+
+#[test]
+fn many_workers_many_shards_matches_reference() {
+    assert_topology_matches_reference(4, 8);
+}

@@ -9,7 +9,11 @@ use std::sync::OnceLock;
 
 fn report() -> &'static ExperimentReport {
     static R: OnceLock<ExperimentReport> = OnceLock::new();
-    R.get_or_init(|| Study::new(StudyConfig::at_scale(0.08)).run())
+    R.get_or_init(|| {
+        Study::new(StudyConfig::at_scale(0.08))
+            .run()
+            .expect("scaled study runs")
+    })
 }
 
 #[test]

@@ -179,6 +179,45 @@ proptest! {
         prop_assert_eq!(d.counts.unique(), 1);
     }
 
+    // ---------- engine shard routing ----------
+
+    // Two documents sharing an account-set signature must never land on
+    // different dedup shards — otherwise §3.1.4 account-set dedup would
+    // miss cross-shard duplicates. Routing depends only on the signature,
+    // for any shard count, no matter how the body text differs.
+    #[test]
+    fn shard_routing_never_splits_an_account_set(
+        handle in "[a-z_][a-z0-9_]{2,14}",
+        body_a in ".{0,200}",
+        body_b in ".{0,200}",
+        shards in 1usize..32,
+    ) {
+        use doxing_repro::engine::dedup::{shard_of, shard_signature};
+        let text_a = format!("{body_a}\ntwitter: @{handle}\n");
+        let text_b = format!("{body_b}\ninsta is {handle}\ntwitter: @{handle}\n");
+        let rec_a = extract(&text_a);
+        let rec_b = extract(&text_b);
+        // Only comparable when extraction found the same account set (the
+        // arbitrary body text can itself mention accounts).
+        if !rec_a.account_set_key().is_empty()
+            && rec_a.account_set_key() == rec_b.account_set_key()
+        {
+            let sig_a = shard_signature(&text_a, &rec_a);
+            let sig_b = shard_signature(&text_b, &rec_b);
+            prop_assert_eq!(sig_a, sig_b, "signature must ignore non-account text");
+            prop_assert_eq!(shard_of(sig_a, shards), shard_of(sig_b, shards));
+            prop_assert!(shard_of(sig_a, shards) < shards);
+        }
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable(sig in any::<u64>(), shards in 1usize..64) {
+        use doxing_repro::engine::dedup::shard_of;
+        let s = shard_of(sig, shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, shard_of(sig, shards));
+    }
+
     // ---------- splits ----------
 
     #[test]
