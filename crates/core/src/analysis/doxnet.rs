@@ -131,13 +131,17 @@ fn bron_kerbosch(
         }
         return;
     }
-    // Pivot: the vertex of P ∪ X with the most neighbours in P.
-    let pivot = p
+    // Pivot: the vertex of P ∪ X with the most neighbours in P. The
+    // emptiness guard above makes this `Some`; an empty union simply ends
+    // the branch.
+    let Some(pivot) = p
         .iter()
         .chain(x.iter())
         .copied()
         .max_by_key(|&u| g.adj[u].intersection(&p).count())
-        .expect("P ∪ X nonempty");
+    else {
+        return;
+    };
     let candidates: Vec<usize> = p.difference(&g.adj[pivot]).copied().collect();
     for v in candidates {
         r.push(v);

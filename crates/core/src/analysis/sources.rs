@@ -46,7 +46,7 @@ impl SourceBreakdown {
             .iter()
             .filter(|(_, d)| d.documents > 0)
             .map(|(name, d)| (name.as_str(), d.per_10k()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

@@ -76,15 +76,14 @@ pub fn label_sample(detected: &[DetectedDox], plan: &LabelingPlan, seed: u64) ->
         }
         for &i in indices.iter().take(want) {
             let d = pool[i];
+            // The pool filter above keeps only docs with non-stub truth.
+            let Some(truth) = d.truth.as_ref() else {
+                continue;
+            };
             out.push(LabeledDox {
                 doc_id: d.doc_id,
                 period: d.period,
-                truth: d
-                    .truth
-                    .as_ref()
-                    .expect("pool filtered to Some")
-                    .as_ref()
-                    .clone(),
+                truth: truth.as_ref().clone(),
             });
         }
     }

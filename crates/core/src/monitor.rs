@@ -175,6 +175,7 @@ impl Monitor {
         if self.histories.contains_key(&account) {
             return;
         }
+        // dox-lint:allow(determinism) enrollment latency metric; probe times come from SimTime
         let round_start = std::time::Instant::now();
         self.enrollments.inc();
         let jitter_key = (account.uid << 8) ^ account.network as u64;

@@ -122,6 +122,7 @@ impl Pipeline {
                 })
                 .collect();
             for h in handles {
+                // dox-lint:allow(panic-hygiene) scoped-worker panics have nowhere sound to go but up
                 let (chunk_staged, mut timings) = h.join().expect("pipeline worker panicked");
                 timings.merge_into(&self.stages);
                 staged.push(chunk_staged);
@@ -152,6 +153,7 @@ impl Pipeline {
         counters.dox_per_period[usize::from(period - 1)] += 1;
         self.output.dox_ids.insert(doc.id);
 
+        // dox-lint:allow(determinism) dedup latency histogram; observation only
         let dedup_start = Instant::now();
         let duplicate = self.dedup.check(doc.id, &text, &extracted);
         self.funnel.dedup_ns.observe_duration(dedup_start.elapsed());

@@ -38,7 +38,7 @@ use dox_extract::accuracy::{evaluate_extractor, ExtractorEvaluation};
 use dox_geo::alloc::{AllocConfig, Allocation};
 use dox_geo::geoip::GeoIpDb;
 use dox_geo::model::{World, WorldConfig};
-use dox_obs::{Level, Registry, StageSpan};
+use dox_obs::{redact, Level, Registry, StageSpan};
 use dox_osn::account::AccountId;
 use dox_osn::clock::{SimDuration, SimTime};
 use dox_osn::filters::{FilterEra, FilterSchedule, StudyPeriods};
@@ -419,6 +419,10 @@ impl Study {
             }
             session.finish()?
         };
+        // The first unique dox doubles as a sanity probe in the event
+        // log. Its body is PII-dense by construction, so only a redacted
+        // length + fingerprint may leave the pipeline (dox-lint pii-sink).
+        let first_dox = output.unique_doxes().next();
         obs.events().emit(
             Level::Info,
             "study",
@@ -428,6 +432,10 @@ impl Study {
                 (
                     "classified_dox".into(),
                     output.counters().classified_dox.to_string(),
+                ),
+                (
+                    "first_dox".into(),
+                    first_dox.map_or_else(|| "[none]".into(), |d| redact(&d.text).to_string()),
                 ),
             ],
         );

@@ -86,11 +86,11 @@ impl DoxClassifier {
 
     /// The most dox-indicative vocabulary terms, for model inspection.
     pub fn top_dox_terms(&self, k: usize) -> Vec<(String, f64)> {
-        let vocab = self
-            .vectorizer
-            .model()
-            .expect("trained vectorizer")
-            .vocabulary();
+        // An unfitted vectorizer has no vocabulary to inspect.
+        let Some(model) = self.vectorizer.model() else {
+            return Vec::new();
+        };
+        let vocab = model.vocabulary();
         let tokens = vocab.tokens_in_order();
         self.model
             .top_positive_features(k)

@@ -32,6 +32,7 @@ use dox_osn::network::Network;
 use dox_textkit::hashing::fnv1a;
 use dox_textkit::similarity::{hamming, simhash};
 use serde::{Deserialize, Serialize};
+// dox-lint:allow(determinism) see the field-level justifications on `Deduplicator`
 use std::collections::HashMap;
 
 /// Why a document was marked a duplicate.
@@ -97,8 +98,10 @@ pub fn shard_of(signature: u64, shards: usize) -> usize {
 #[derive(Debug, Default)]
 pub struct Deduplicator {
     /// Hash of every body seen → first doc id.
+    // dox-lint:allow(determinism) lookup-only map, never iterated; inserts follow commit order
     bodies: HashMap<u64, u64>,
     /// Account-set key → first doc id.
+    // dox-lint:allow(determinism) lookup-only map, never iterated; inserts follow commit order
     account_sets: HashMap<Vec<(Network, String)>, u64>,
     /// SimHashes of seen docs (only consulted when fuzzy matching is on).
     simhashes: Vec<(u64, u64)>,

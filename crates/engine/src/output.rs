@@ -8,7 +8,7 @@ use dox_osn::clock::SimTime;
 use dox_synth::corpus::Source;
 use dox_synth::truth::DoxTruth;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A document the classifier flagged as a dox.
 #[derive(Debug, Clone)]
@@ -112,7 +112,7 @@ pub struct PipelineOutput {
     /// Figure 1 funnel counters.
     pub counters: PipelineCounters,
     /// Ids of documents labeled dox.
-    pub dox_ids: HashSet<u64>,
+    pub dox_ids: BTreeSet<u64>,
 }
 
 impl PipelineOutput {

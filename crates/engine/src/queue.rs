@@ -16,7 +16,7 @@
 //!   return the rejected item.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 struct State<T> {
@@ -44,6 +44,15 @@ pub struct Queue<T> {
 }
 
 impl<T> Queue<T> {
+    /// Lock the queue state, recovering from poisoning. Every critical
+    /// section below performs a single `VecDeque` push/pop or a flag
+    /// write, none of which can leave `State` half-updated if some other
+    /// holder panicked — so continuing with the inner value is sound and
+    /// keeps the engine's shutdown path free of cascading panics.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A queue holding at most `capacity` items (`capacity` ≥ 1; a zero
     /// capacity would deadlock the first push and is rejected upstream by
     /// the engine builder).
@@ -62,12 +71,16 @@ impl<T> Queue<T> {
     /// Push one item, blocking while the queue is full. Returns the
     /// rejected item if the queue was closed before space opened up.
     pub fn push(&self, item: T) -> Result<Pushed, T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock();
         let mut stalled_for = Duration::ZERO;
         if state.buf.len() >= self.capacity && !state.closed {
+            // dox-lint:allow(determinism) backpressure stall timing feeds metrics only, never the report
             let start = Instant::now();
             while state.buf.len() >= self.capacity && !state.closed {
-                state = self.not_full.wait(state).expect("queue lock poisoned");
+                state = self
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             stalled_for = start.elapsed();
         }
@@ -84,7 +97,7 @@ impl<T> Queue<T> {
     /// Pop one item, blocking while the queue is empty. Returns `None`
     /// once the queue is closed and fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock();
         loop {
             if let Some(item) = state.buf.pop_front() {
                 drop(state);
@@ -94,21 +107,24 @@ impl<T> Queue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Close the queue: pending items remain poppable, new pushes fail,
     /// and every blocked waiter wakes up.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// Current depth (racy by nature; for gauges only).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").buf.len()
+        self.lock().buf.len()
     }
 
     /// Whether the queue is currently empty (racy; for gauges only).

@@ -44,7 +44,7 @@ use dox_osn::clock::SimTime;
 use dox_sites::collect::CollectedDoc;
 use dox_synth::corpus::Source;
 use dox_synth::truth::{DoxTruth, GroundTruth};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -100,7 +100,7 @@ pub struct Session {
     shard_queues: Vec<Arc<Queue<DoxJob>>>,
     verdicts: Arc<Queue<Verdict>>,
     stage_workers: Vec<JoinHandle<()>>,
-    router: Option<JoinHandle<(PipelineCounters, HashSet<u64>)>>,
+    router: Option<JoinHandle<(PipelineCounters, BTreeSet<u64>)>>,
     shard_workers: Vec<JoinHandle<()>>,
     committer: Option<JoinHandle<(Vec<DetectedDox>, PipelineCounters)>>,
     queue_depth: Gauge,
@@ -173,7 +173,7 @@ impl Session {
             std::thread::spawn(move || {
                 let mut reorder = ReorderBuffer::new();
                 let mut counters = PipelineCounters::default();
-                let mut dox_ids = HashSet::new();
+                let mut dox_ids = BTreeSet::new();
                 let mut dox_seq = 0u64;
                 'drain: while let Some(chunk) = staged.pop() {
                     reorder.push(chunk.seq, chunk.items);
@@ -234,6 +234,7 @@ impl Session {
                 std::thread::spawn(move || {
                     let mut dedup = Deduplicator::new();
                     while let Some(job) = q.pop() {
+                        // dox-lint:allow(determinism) per-shard dedup latency histogram; never enters the report
                         let start = Instant::now();
                         let duplicate = dedup.check(job.doc_id, &job.text, &job.extracted);
                         let elapsed = start.elapsed();
@@ -354,7 +355,7 @@ impl Session {
         let (mut counters, dox_ids) = self
             .router
             .take()
-            .expect("router joined once")
+            .ok_or(EngineError::StageFailed("router"))?
             .join()
             .map_err(|_| EngineError::StageFailed("router"))?;
         for q in &self.shard_queues {
@@ -369,7 +370,7 @@ impl Session {
         let (detected, dedup_counters) = self
             .committer
             .take()
-            .expect("committer joined once")
+            .ok_or(EngineError::StageFailed("committer"))?
             .join()
             .map_err(|_| EngineError::StageFailed("committer"))?;
         counters.absorb(&dedup_counters);

@@ -100,6 +100,7 @@ pub fn classify_and_extract<C: DoxDetector + ?Sized>(
 ) -> StagedDoc {
     let doc = &collected.doc;
     let text = if doc.source.is_html() {
+        // dox-lint:allow(determinism) HTML-convert timing histogram; observation only
         let start = Instant::now();
         let text = html_to_text(&doc.body);
         timings.html_convert.record_duration(start.elapsed());
@@ -108,12 +109,14 @@ pub fn classify_and_extract<C: DoxDetector + ?Sized>(
     } else {
         doc.body.clone()
     };
+    // dox-lint:allow(determinism) classify timing histogram; observation only
     let start = Instant::now();
     let is_dox = classifier.is_dox(&text);
     timings.classify.record_duration(start.elapsed());
     if !is_dox {
         return None;
     }
+    // dox-lint:allow(determinism) extract timing histogram; observation only
     let start = Instant::now();
     let extracted = dox_extract::record::extract(&text);
     timings.extract.record_duration(start.elapsed());

@@ -138,17 +138,27 @@ impl ExtractorEvaluation {
     }
 }
 
-fn network_of(field: Field) -> Option<Network> {
-    Some(match field {
-        Field::Instagram => Network::Instagram,
-        Field::Twitch => Network::Twitch,
-        Field::GooglePlus => Network::GooglePlus,
-        Field::Twitter => Network::Twitter,
-        Field::Facebook => Network::Facebook,
-        Field::YouTube => Network::YouTube,
-        Field::Skype => Network::Skype,
-        _ => return None,
-    })
+/// Score one OSN-handle field: every expected handle extracted, nothing
+/// extra.
+fn score_network(network: Network, extracted: &ExtractedDox, truth: &DoxTruth) -> (bool, bool) {
+    let expected: Vec<String> = truth
+        .osn_handles
+        .iter()
+        .filter(|(n, _)| *n == network)
+        .map(|(_, h)| h.to_lowercase())
+        .collect();
+    let got: Vec<String> = extracted
+        .handles_on(network)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let present = !expected.is_empty();
+    let correct = if present {
+        expected.iter().all(|e| got.contains(e)) && got.len() == expected.len()
+    } else {
+        got.is_empty()
+    };
+    (present, correct)
 }
 
 /// Returns `(truth_includes_field, extraction_correct)`.
@@ -158,27 +168,14 @@ fn score_field(
     truth: &DoxTruth,
     persona: &Persona,
 ) -> (bool, bool) {
-    if let Some(network) = network_of(field) {
-        let expected: Vec<String> = truth
-            .osn_handles
-            .iter()
-            .filter(|(n, _)| *n == network)
-            .map(|(_, h)| h.to_lowercase())
-            .collect();
-        let got: Vec<String> = extracted
-            .handles_on(network)
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        let present = !expected.is_empty();
-        let correct = if present {
-            expected.iter().all(|e| got.contains(e)) && got.len() == expected.len()
-        } else {
-            got.is_empty()
-        };
-        return (present, correct);
-    }
     match field {
+        Field::Instagram => score_network(Network::Instagram, extracted, truth),
+        Field::Twitch => score_network(Network::Twitch, extracted, truth),
+        Field::GooglePlus => score_network(Network::GooglePlus, extracted, truth),
+        Field::Twitter => score_network(Network::Twitter, extracted, truth),
+        Field::Facebook => score_network(Network::Facebook, extracted, truth),
+        Field::YouTube => score_network(Network::YouTube, extracted, truth),
+        Field::Skype => score_network(Network::Skype, extracted, truth),
         Field::FirstName => {
             let present = truth.fields.real_name;
             let correct = if present {
@@ -224,7 +221,6 @@ fn score_field(
             };
             (present, correct)
         }
-        _ => unreachable!("network fields handled above"),
     }
 }
 

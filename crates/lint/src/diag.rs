@@ -1,0 +1,122 @@
+//! Diagnostics: what every rule emits and how the driver renders it.
+//!
+//! The text format is rustc-style — `file:line:col: rule: message` — so
+//! editors and CI annotators that already understand compiler output can
+//! jump to findings. `--format json` renders the same list as a JSON
+//! array (hand-serialized: the analyzer is dependency-free by design).
+
+use std::fmt;
+
+/// One finding at an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Rule name, e.g. `panic-hygiene`.
+    pub rule: &'static str,
+    /// Human-readable explanation with the offending construct named.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a finding.
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            file: file.into(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// Sort key: file, then position, then rule.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.file.clone(), self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array (stable field order).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{}\n",
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(d.rule),
+            json_escape(&d.message),
+            if i + 1 == diags.len() { "" } else { "," }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let d = Diagnostic::new("crates/engine/src/queue.rs", 65, 30, "panic-hygiene", "x");
+        assert_eq!(
+            d.to_string(),
+            "crates/engine/src/queue.rs:65:30: panic-hygiene: x"
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let d = Diagnostic::new("a \"b\".rs", 1, 2, "pii-sink", "line\nbreak\ttab");
+        let j = to_json(&[d]);
+        assert!(j.contains("a \\\"b\\\".rs"), "{j}");
+        assert!(j.contains("line\\nbreak\\ttab"), "{j}");
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_list_is_valid_json() {
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,530 @@
+//! A small, error-tolerant Rust lexer.
+//!
+//! The analyzer cannot use `syn` (the workspace is offline and vendors no
+//! parser crates), and none of the project lints need a full AST — every
+//! rule works on a token stream with accurate line/column spans. The
+//! lexer therefore handles exactly the token-level hazards that would
+//! otherwise produce false matches inside literals:
+//!
+//! * strings with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//!   count), byte strings, and byte chars;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * nested block comments and line comments (kept as tokens — the
+//!   suppression scanner reads them);
+//! * raw identifiers (`r#type`).
+//!
+//! It never panics on malformed input: unterminated literals and comments
+//! are closed at end of file, and any byte it does not recognize becomes a
+//! one-character [`TokenKind::Punct`] token. Every token records its byte
+//! offset and length, so the original source slice can always be
+//! recovered (`&src[tok.off..tok.off + tok.len]` equals `tok.text`).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `_` and raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'x'`.
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Any single punctuation or unrecognized character.
+    Punct,
+}
+
+/// One lexed token with its exact source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub off: usize,
+    /// Byte length of the token.
+    pub len: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// For [`TokenKind::Punct`], the (first) character; `None` otherwise.
+    pub fn punct(&self) -> Option<char> {
+        if self.kind == TokenKind::Punct {
+            self.text.chars().next()
+        } else {
+            None
+        }
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.punct() == Some(c)
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_off(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenize `src`, keeping comments. Whitespace is the only input not
+/// represented in the output stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start_off = cur.byte_off();
+        let start_line = cur.line;
+        let start_col = cur.col;
+        let kind = scan_token(&mut cur, c);
+        let end_off = cur.byte_off();
+        out.push(Token {
+            kind,
+            text: src[start_off..end_off].to_string(),
+            line: start_line,
+            col: start_col,
+            off: start_off,
+            len: end_off - start_off,
+        });
+    }
+    out
+}
+
+/// Consume one token starting at `c`; the cursor is advanced past it.
+fn scan_token(cur: &mut Cursor<'_>, c: char) -> TokenKind {
+    match c {
+        '/' if cur.peek_at(1) == Some('/') => {
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokenKind::LineComment
+        }
+        '/' if cur.peek_at(1) == Some('*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        'r' if matches!(cur.peek_at(1), Some('"') | Some('#')) => scan_raw_or_ident(cur, 1),
+        'b' => scan_byte_prefixed(cur),
+        '"' => {
+            cur.bump();
+            scan_string_body(cur);
+            TokenKind::Str
+        }
+        '\'' => scan_char_or_lifetime(cur),
+        _ if c == '_' || unicode_ident_start(c) => {
+            while let Some(ch) = cur.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident
+        }
+        _ if c.is_ascii_digit() => {
+            scan_number(cur);
+            TokenKind::Number
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+fn unicode_ident_start(c: char) -> bool {
+    c.is_alphabetic()
+}
+
+/// Called with the cursor on `r` (after `skip` known prefix chars when
+/// reached through `b`). Distinguishes `r"…"`/`r#"…"#` raw strings and
+/// `r#ident` raw identifiers from a plain identifier starting with `r`.
+fn scan_raw_or_ident(cur: &mut Cursor<'_>, prefix: usize) -> TokenKind {
+    // Count hashes after the prefix.
+    let mut hashes = 0usize;
+    while cur.peek_at(prefix + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(prefix + hashes) {
+        Some('"') => {
+            for _ in 0..prefix + hashes + 1 {
+                cur.bump();
+            }
+            scan_raw_string_body(cur, hashes);
+            TokenKind::Str
+        }
+        Some(ch) if hashes == 1 && (ch == '_' || unicode_ident_start(ch)) => {
+            // Raw identifier `r#type`.
+            cur.bump(); // r
+            cur.bump(); // #
+            while let Some(ch) = cur.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident
+        }
+        _ => {
+            // Just an identifier starting with `r` (or a lone `r` before
+            // stray hashes — consume the ident part only).
+            while let Some(ch) = cur.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Called with the cursor on `b`: byte strings `b"…"`, raw byte strings
+/// `br"…"`, byte chars `b'x'`, or an identifier starting with `b`.
+fn scan_byte_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    match cur.peek_at(1) {
+        Some('"') => {
+            cur.bump();
+            cur.bump();
+            scan_string_body(cur);
+            TokenKind::Str
+        }
+        Some('\'') => {
+            cur.bump();
+            cur.bump();
+            scan_char_body(cur);
+            TokenKind::Char
+        }
+        Some('r') if matches!(cur.peek_at(2), Some('"') | Some('#')) => {
+            cur.bump(); // b
+            scan_raw_or_ident(cur, 1)
+        }
+        _ => {
+            while let Some(ch) = cur.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Scan the body of a `"…"` string; the opening quote is consumed.
+fn scan_string_body(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Scan the body of a raw string until `"` followed by `hashes` hashes.
+fn scan_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(ch) = cur.bump() {
+        if ch == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// Scan the rest of a char literal after the opening quote.
+fn scan_char_body(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.bump() {
+        match ch {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' | '\n' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime). Cursor is on `'`.
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek_at(1), cur.peek_at(2)) {
+        // Escape sequence: definitely a char literal.
+        (Some('\\'), _) => {
+            cur.bump();
+            scan_char_body(cur);
+            TokenKind::Char
+        }
+        // 'x' — a one-character char literal.
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            TokenKind::Char
+        }
+        // 'ident — a lifetime (or `'static`).
+        (Some(ch), _) if ch == '_' || unicode_ident_start(ch) => {
+            cur.bump();
+            while let Some(ch) = cur.peek() {
+                if ch == '_' || ch.is_alphanumeric() {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Lifetime
+        }
+        // Lone quote at EOF or before punctuation: tolerate as punct.
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Scan a numeric literal. Coarse on purpose: rules never inspect numbers,
+/// the scanner only needs to not swallow range dots (`1..2`) and to keep
+/// spans exact.
+fn scan_number(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.peek() {
+        if ch == '_' || ch.is_ascii_alphanumeric() {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // One fractional part: `.` followed by a digit (so `1..2` and
+    // `1.max(2)` are left alone).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while let Some(ch) = cur.peek() {
+            if ch == '_' || ch.is_ascii_alphanumeric() {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  b\nccc d");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+        assert_eq!((toks[3].line, toks[3].col), (3, 5));
+    }
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        let toks = kinds(r#"let url = "https://example.com"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("https://")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"# ; done"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quote")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn raw_string_unwrap_is_not_a_call() {
+        // `.unwrap()` inside a string must lex as part of the literal.
+        let toks = lex(r#"let s = "call .unwrap() here";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("'a' 'b x<'a> '\\n'");
+        assert_eq!(toks[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'b".into()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert_eq!(toks.last(), Some(&(TokenKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"# bare"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3], (TokenKind::Ident, "bare".into()));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("r#type + regular");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "regular".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = kinds("for i in 1..20 { x(3.5_f64); }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "20"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "3.5_f64"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "r#", "\\"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn spans_recover_source_slices() {
+        let src = "fn main() { let s = \"héllo\"; } // done";
+        for t in lex(src) {
+            assert_eq!(&src[t.off..t.off + t.len], t.text, "span mismatch");
+        }
+    }
+}

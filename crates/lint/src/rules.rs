@@ -1,0 +1,892 @@
+//! The rule registry: every project-specific lint, run over a prepared
+//! token stream.
+//!
+//! Rules are deliberately token-level (no AST): each one encodes an
+//! invariant of *this* workspace — see DESIGN.md §"Static analysis" for
+//! the catalogue. All rules honor:
+//!
+//! * **file class** — library code is policed, `tests/`, benches,
+//!   `src/bin/` and examples are not (except `unsafe-audit`, which is
+//!   global);
+//! * **`#[cfg(test)]` regions** — in-file test modules count as tests;
+//! * **inline suppressions** — `// dox-lint:allow(rule-a, rule-b) reason`
+//!   on the offending line, or standing alone on the line above it.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What kind of source file this is, by path convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under some `src/` (the policed class).
+    Library,
+    /// A binary: `src/bin/**` or `src/main.rs`.
+    Bin,
+    /// Anything under a `tests/` directory.
+    Test,
+    /// Anything under an `examples/` directory.
+    Example,
+    /// Anything under a `benches/` directory.
+    Bench,
+}
+
+/// One file handed to the rule registry.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Path-derived class.
+    pub class: FileClass,
+    /// For `crates/<name>/…` paths, the crate directory name.
+    pub crate_name: Option<String>,
+    /// Full source text.
+    pub text: String,
+}
+
+/// A lexed file with suppression and test-region indexes built.
+pub struct Prepared<'a> {
+    /// The file being checked.
+    pub input: &'a FileInput,
+    /// Code tokens (comments filtered out).
+    pub code: Vec<Token>,
+    /// Rules allowed per line (from `dox-lint:allow(...)` comments).
+    allow: BTreeMap<u32, BTreeSet<String>>,
+    /// Line ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> Prepared<'a> {
+    /// Lex and index one file.
+    pub fn new(input: &'a FileInput) -> Self {
+        let tokens = lex(&input.text);
+        let allow = collect_suppressions(&tokens);
+        let code: Vec<Token> = tokens.into_iter().filter(|t| !t.is_comment()).collect();
+        let test_ranges = find_test_ranges(&code);
+        Self {
+            input,
+            code,
+            allow,
+            test_ranges,
+        }
+    }
+
+    /// Whether `rule` is suppressed on `line`.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allow
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule) || rules.contains("all"))
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    fn skip(&self, line: u32, rule: &'static str) -> bool {
+        self.in_test(line) || self.allowed(line, rule)
+    }
+}
+
+/// Extract `dox-lint:allow(rule, …)` from comments. A suppression applies
+/// to the comment's own line; when the comment stands alone on its line it
+/// also applies to the next code line.
+fn collect_suppressions(tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut allow: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let Some(rules) = parse_allow(&tok.text) else {
+            continue;
+        };
+        let standalone = !tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !t.is_comment());
+        let mut lines = vec![tok.line];
+        if standalone {
+            if let Some(next) = tokens[i + 1..].iter().find(|t| !t.is_comment()) {
+                lines.push(next.line);
+            }
+        }
+        for line in lines {
+            allow.entry(line).or_default().extend(rules.iter().cloned());
+        }
+    }
+    allow
+}
+
+/// Parse the rule list out of one comment, if it carries a suppression.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let idx = comment.find("dox-lint:allow(")?;
+    let rest = &comment[idx + "dox-lint:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+/// Find the line ranges of `#[cfg(test)]` items by brace matching.
+fn find_test_ranges(code: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // `#[ … ]` (outer) or `#![ … ]` (inner) attribute.
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|t| t.is_punct('!')) {
+            j += 1;
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(end) = matching_close(code, j, '[', ']') else {
+            break;
+        };
+        let attr = &code[j + 1..end];
+        let is_cfg_test = attr.first().is_some_and(|t| t.is_ident("cfg"))
+            && attr.iter().any(|t| t.is_ident("test"));
+        if is_cfg_test {
+            if let Some(range) = item_extent(code, end + 1, code[i].line) {
+                ranges.push(range);
+            }
+        }
+        i = end + 1;
+    }
+    ranges
+}
+
+/// The line extent of the item starting after an attribute: skip further
+/// attributes, then match the item's braces (or stop at a top-level `;`
+/// for brace-less items).
+fn item_extent(code: &[Token], mut i: usize, start_line: u32) -> Option<(u32, u32)> {
+    // Skip stacked attributes.
+    while code.get(i).is_some_and(|t| t.is_punct('#')) {
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|t| t.is_punct('!')) {
+            j += 1;
+        }
+        if code.get(j).is_some_and(|t| t.is_punct('[')) {
+            i = matching_close(code, j, '[', ']')? + 1;
+        } else {
+            break;
+        }
+    }
+    // Scan to the item's opening brace, tracking (…) and […] nesting so a
+    // `;` inside `fn f(x: [u8; 3])` does not end the item early.
+    let mut depth = 0i32;
+    while let Some(tok) = code.get(i) {
+        match tok.punct() {
+            Some('(') | Some('[') => depth += 1,
+            Some(')') | Some(']') => depth -= 1,
+            Some('{') if depth == 0 => {
+                let close = matching_close(code, i, '{', '}')?;
+                return Some((start_line, code[close].line));
+            }
+            Some(';') if depth == 0 => return Some((start_line, tok.line)),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+fn matching_close(code: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, tok) in code.iter().enumerate().skip(open_idx) {
+        if tok.is_punct(open) {
+            depth += 1;
+        } else if tok.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Names of every rule, in report order.
+pub const RULE_NAMES: [&str; 5] = [
+    "panic-hygiene",
+    "pii-sink",
+    "determinism",
+    "lock-discipline",
+    "unsafe-audit",
+];
+
+/// Run every rule over one prepared file.
+pub fn run_rules(prep: &Prepared<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    panic_hygiene(prep, &mut out);
+    pii_sink(prep, cfg, &mut out);
+    determinism(prep, cfg, &mut out);
+    lock_discipline(prep, &mut out);
+    unsafe_audit(prep, &mut out);
+    out.sort_by_key(|d| (d.line, d.col, d.rule));
+    out
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// `panic-hygiene`: no `unwrap`/`expect`/`panic!`-family calls in library
+/// code of the `dox-*` crates.
+fn panic_hygiene(prep: &Prepared<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "panic-hygiene";
+    if prep.input.class != FileClass::Library || prep.input.crate_name.is_none() {
+        return;
+    }
+    let code = &prep.code;
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let next_paren = code.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let next_bang = code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        if prev_dot && next_paren && (tok.text == "unwrap" || tok.text == "expect") {
+            out.push(Diagnostic::new(
+                &prep.input.rel,
+                tok.line,
+                tok.col,
+                RULE,
+                format!(
+                    "`.{}()` in library code — return a typed error instead, \
+                     or justify with `// dox-lint:allow(panic-hygiene) <why infallible>`",
+                    tok.text
+                ),
+            ));
+        } else if next_bang && PANIC_MACROS.contains(&tok.text.as_str()) {
+            // `panic!` in a `#[should_panic]`-style doc? Library code still
+            // must not abort: documented invariant panics use `assert!`.
+            out.push(Diagnostic::new(
+                &prep.input.rel,
+                tok.line,
+                tok.col,
+                RULE,
+                format!(
+                    "`{}!` in library code — return a typed error instead, \
+                     or justify with `// dox-lint:allow(panic-hygiene) <reason>`",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+const SINK_MACROS: [&str; 9] = [
+    "println",
+    "eprintln",
+    "print",
+    "eprint",
+    "format",
+    "format_args",
+    "write",
+    "writeln",
+    "emit",
+];
+
+/// `pii-sink`: deny-listed identifiers (document bodies, extracted
+/// fields) may not reach a formatting/log sink except through
+/// `dox_obs::redact`.
+fn pii_sink(prep: &Prepared<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "pii-sink";
+    if !matches!(prep.input.class, FileClass::Library | FileClass::Bin) {
+        return;
+    }
+    match &prep.input.crate_name {
+        Some(name) if !cfg.pii_allow_crates.contains(name) => {}
+        _ => return,
+    }
+    let code = &prep.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let tok = &code[i];
+        let is_macro_sink = tok.kind == TokenKind::Ident
+            && SINK_MACROS.contains(&tok.text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let is_emit_method = tok.is_ident("emit")
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !(is_macro_sink || is_emit_method) {
+            i += 1;
+            continue;
+        }
+        let open = if is_macro_sink { i + 2 } else { i + 1 };
+        let Some(end) = group_end(code, open) else {
+            i += 1;
+            continue;
+        };
+        if !prep.skip(tok.line, RULE) {
+            scan_sink_group(prep, cfg, &code[open..=end], &tok.text, out);
+        }
+        // Do not re-scan nested sinks (`format!` inside `writeln!` args is
+        // already covered by the outer scan).
+        i = end + 1;
+    }
+}
+
+/// Index of the token closing the group opened at `open` (any of
+/// `(`/`[`/`{`); `None` when `open` is not an opening delimiter.
+fn group_end(code: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match code.get(open)?.punct()? {
+        '(' => ('(', ')'),
+        '[' => ('[', ']'),
+        '{' => ('{', '}'),
+        _ => return None,
+    };
+    matching_close(code, open, o, c)
+}
+
+/// Scan one sink's argument tokens for deny-listed identifiers, skipping
+/// anything wrapped in `redact(…)`.
+fn scan_sink_group(
+    prep: &Prepared<'_>,
+    cfg: &Config,
+    group: &[Token],
+    sink: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    const RULE: &str = "pii-sink";
+    let mut i = 0usize;
+    while i < group.len() {
+        let tok = &group[i];
+        if tok.is_ident("redact") && group.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i = match matching_close(group, i + 1, '(', ')') {
+                Some(end) => end + 1,
+                None => group.len(),
+            };
+            continue;
+        }
+        if prep.allowed(tok.line, RULE) {
+            i += 1;
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Ident => {
+                let lc = tok.text.to_lowercase();
+                if let Some(word) = cfg.pii_deny.iter().find(|w| lc.contains(w.as_str())) {
+                    out.push(Diagnostic::new(
+                        &prep.input.rel,
+                        tok.line,
+                        tok.col,
+                        RULE,
+                        format!(
+                            "identifier `{}` (matches deny-listed {word:?}) reaches `{sink}` \
+                             unredacted — wrap it in dox_obs::redact() or rename it",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+            TokenKind::Str => {
+                for name in inline_format_args(&tok.text) {
+                    let lc = name.to_lowercase();
+                    if let Some(word) = cfg.pii_deny.iter().find(|w| lc.contains(w.as_str())) {
+                        out.push(Diagnostic::new(
+                            &prep.input.rel,
+                            tok.line,
+                            tok.col,
+                            RULE,
+                            format!(
+                                "inline format arg `{{{name}}}` (matches deny-listed {word:?}) \
+                                 reaches `{sink}` unredacted — wrap it in dox_obs::redact()",
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Extract the captured identifiers from a format string literal:
+/// `"x {name} {count:>3}"` yields `name`, `count`. `{{` escapes are
+/// skipped, positional/empty captures (`{}`, `{0}`) yield nothing.
+fn inline_format_args(lexeme: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let chars: Vec<char> = lexeme.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            let mut name = String::new();
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '}' && chars[j] != ':' {
+                name.push(chars[j]);
+                j += 1;
+            }
+            let is_ident = !name.is_empty()
+                && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
+            if is_ident {
+                names.push(name);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    names
+}
+
+/// `determinism`: wall-clock/OS-entropy calls outside `crates/obs`, and
+/// hashed containers on report-producing paths.
+fn determinism(prep: &Prepared<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "determinism";
+    let code = &prep.code;
+    let is_library = prep.input.class == FileClass::Library;
+    let in_obs = prep.input.crate_name.as_deref() == Some("obs");
+    if is_library && !in_obs {
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
+                continue;
+            }
+            let path_now = (tok.text == "Instant" || tok.text == "SystemTime")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            let entropy = tok.text == "thread_rng" || tok.text == "from_entropy";
+            if path_now || entropy {
+                out.push(Diagnostic::new(
+                    &prep.input.rel,
+                    tok.line,
+                    tok.col,
+                    RULE,
+                    format!(
+                        "`{}` is nondeterministic — reports must be pure functions of \
+                         (config, seed); timing-only spans need \
+                         `// dox-lint:allow(determinism) <reason>`",
+                        if path_now {
+                            format!("{}::now", tok.text)
+                        } else {
+                            tok.text.clone()
+                        }
+                    ),
+                ));
+            }
+        }
+    }
+    if cfg.ordered_paths.iter().any(|p| p == &prep.input.rel) {
+        for tok in code {
+            if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
+                continue;
+            }
+            if tok.text == "HashMap" || tok.text == "HashSet" {
+                out.push(Diagnostic::new(
+                    &prep.input.rel,
+                    tok.line,
+                    tok.col,
+                    RULE,
+                    format!(
+                        "`{}` on a report-producing path — iteration order could reach \
+                         output; use BTreeMap/BTreeSet or an explicit sort",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// `lock-discipline`: a lock guard bound to `_` (released immediately —
+/// almost always a bug), and re-locking a mutex that already has a live
+/// named guard in the same scope (self-deadlock with `std::sync::Mutex`).
+fn lock_discipline(prep: &Prepared<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "lock-discipline";
+    if !matches!(prep.input.class, FileClass::Library | FileClass::Bin) {
+        return;
+    }
+    let code = &prep.code;
+    // (brace_depth, receiver, guard_name) for live named guards.
+    let mut guards: Vec<(i32, String, String)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < code.len() {
+        let tok = &code[i];
+        match tok.punct() {
+            Some('{') => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            Some('}') => {
+                guards.retain(|&(d, _, _)| d < depth);
+                depth -= 1;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        // `drop(name)` releases a guard early.
+        if tok.is_ident("drop") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let (Some(arg), Some(close)) = (code.get(i + 2), code.get(i + 3)) {
+                if arg.kind == TokenKind::Ident && close.is_punct(')') {
+                    guards.retain(|(_, _, name)| name != &arg.text);
+                }
+            }
+        }
+        // `let _ = …;` whose initializer takes a guard.
+        if tok.is_ident("let") && code.get(i + 1).is_some_and(|t| t.is_ident("_")) {
+            if let Some(semi) = stmt_end(code, i + 2) {
+                if let Some(m) = find_guard_call(code, i + 2, semi) {
+                    if !prep.skip(code[m].line, RULE) {
+                        out.push(Diagnostic::new(
+                            &prep.input.rel,
+                            tok.line,
+                            tok.col,
+                            RULE,
+                            format!(
+                                "lock guard from `.{}()` bound to `_` is dropped \
+                                 immediately — bind it to a name (or drop the call)",
+                                code[m].text
+                            ),
+                        ));
+                    }
+                }
+                i = semi + 1;
+                continue;
+            }
+        }
+        // Any `.lock()`-family call: re-lock check, then guard recording.
+        let is_guard_call = tok.kind == TokenKind::Ident
+            && GUARD_METHODS.contains(&tok.text.as_str())
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if is_guard_call {
+            let recv = receiver_of(code, i - 1);
+            if !recv.is_empty() && !prep.skip(tok.line, RULE) {
+                if let Some((_, _, name)) = guards.iter().find(|(_, r, _)| r == &recv) {
+                    out.push(Diagnostic::new(
+                        &prep.input.rel,
+                        tok.line,
+                        tok.col,
+                        RULE,
+                        format!(
+                            "`{recv}` is locked again while guard `{name}` from the same \
+                             mutex is still live in this scope — this deadlocks \
+                             std::sync::Mutex (drop the first guard, or restructure)"
+                        ),
+                    ));
+                }
+            }
+            // Record `let NAME = recv.lock()…` bindings.
+            if let Some((name_tok, let_idx)) = binding_name(code, i) {
+                if !recv.is_empty() && code[let_idx].line == tok.line {
+                    guards.push((depth, recv, name_tok));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `;` ending the statement starting at `from` (top-level
+/// with respect to every delimiter).
+fn stmt_end(code: &[Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, tok) in code.iter().enumerate().skip(from) {
+        match tok.punct() {
+            Some('(') | Some('[') | Some('{') => depth += 1,
+            Some(')') | Some(']') | Some('}') => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            Some(';') if depth == 0 => return Some(k),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// First `.lock()`/`.read()`/`.write()` in `code[from..to]`.
+fn find_guard_call(code: &[Token], from: usize, to: usize) -> Option<usize> {
+    (from..to).find(|&k| {
+        code[k].kind == TokenKind::Ident
+            && GUARD_METHODS.contains(&code[k].text.as_str())
+            && k > 0
+            && code[k - 1].is_punct('.')
+            && code.get(k + 1).is_some_and(|t| t.is_punct('('))
+            && code.get(k + 2).is_some_and(|t| t.is_punct(')'))
+    })
+}
+
+/// The dotted receiver chain ending at the `.` at `dot_idx`:
+/// `self.state.lock()` → `"self.state"`. Walks back over idents, `.`,
+/// and `::`.
+fn receiver_of(code: &[Token], dot_idx: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut k = dot_idx;
+    while k > 0 {
+        let prev = &code[k - 1];
+        match prev.kind {
+            TokenKind::Ident | TokenKind::Number => parts.push(&prev.text),
+            TokenKind::Punct if prev.is_punct('.') || prev.is_punct(':') => parts.push(&prev.text),
+            _ => break,
+        }
+        k -= 1;
+    }
+    parts.reverse();
+    parts.concat()
+}
+
+/// For a guard call at `call_idx`, the `let` binding name when the
+/// statement has the shape `let NAME = …`; returns `(name, let_index)`.
+fn binding_name(code: &[Token], call_idx: usize) -> Option<(String, usize)> {
+    // Walk back to the statement start: the nearest `;`, `{` or `}`.
+    let mut k = call_idx;
+    while k > 0 {
+        let t = &code[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    let let_idx = k;
+    if !code.get(let_idx).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    let mut name_idx = let_idx + 1;
+    if code.get(name_idx).is_some_and(|t| t.is_ident("mut")) {
+        name_idx += 1;
+    }
+    let name = code.get(name_idx)?;
+    if name.kind == TokenKind::Ident && name.text != "_" {
+        Some((name.text.clone(), let_idx))
+    } else {
+        None
+    }
+}
+
+/// `unsafe-audit`: no `unsafe` anywhere outside `vendor/`, and every
+/// `dox-*` crate root must carry `#![forbid(unsafe_code)]`.
+fn unsafe_audit(prep: &Prepared<'_>, out: &mut Vec<Diagnostic>) {
+    const RULE: &str = "unsafe-audit";
+    for tok in &prep.code {
+        if tok.is_ident("unsafe") && !prep.allowed(tok.line, RULE) {
+            out.push(Diagnostic::new(
+                &prep.input.rel,
+                tok.line,
+                tok.col,
+                RULE,
+                "`unsafe` outside vendor/ — this workspace forbids unsafe code",
+            ));
+        }
+    }
+    let is_crate_root =
+        prep.input.rel.starts_with("crates/") && prep.input.rel.ends_with("/src/lib.rs");
+    if is_crate_root {
+        let has_forbid = prep.code.windows(5).any(|w| {
+            w[0].is_ident("forbid")
+                && w[1].is_punct('(')
+                && w[2].is_ident("unsafe_code")
+                && w[3].is_punct(')')
+                && w[4].is_punct(']')
+        });
+        if !has_forbid {
+            out.push(Diagnostic::new(
+                &prep.input.rel,
+                1,
+                1,
+                RULE,
+                "crate root is missing `#![forbid(unsafe_code)]`",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_input(src: &str) -> FileInput {
+        FileInput {
+            rel: "crates/engine/src/x.rs".into(),
+            class: FileClass::Library,
+            crate_name: Some("engine".into()),
+            text: src.into(),
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let input = lib_input(src);
+        let prep = Prepared::new(&input);
+        run_rules(&prep, &Config::default())
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let diags = run(src);
+        let hygiene: Vec<_> = diags.iter().filter(|d| d.rule == "panic-hygiene").collect();
+        assert_eq!(hygiene.len(), 1, "{diags:?}");
+        assert_eq!(hygiene[0].line, 1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let same = "fn f() { x.unwrap(); } // dox-lint:allow(panic-hygiene) infallible\n";
+        assert!(run(same).iter().all(|d| d.rule != "panic-hygiene"));
+        let above = "// dox-lint:allow(panic-hygiene) infallible\nfn f() { x.unwrap(); }\n";
+        assert!(run(above).iter().all(|d| d.rule != "panic-hygiene"));
+        let wrong_rule = "fn f() { x.unwrap(); } // dox-lint:allow(determinism)\n";
+        assert!(run(wrong_rule).iter().any(|d| d.rule == "panic-hygiene"));
+    }
+
+    #[test]
+    fn unwrap_in_string_not_flagged() {
+        let src = "fn f() { let s = \"please .unwrap() me\"; }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pii_ident_and_inline_arg_flagged() {
+        let src = "fn f(doc: &D) { eprintln!(\"{}\", doc.body); }\n";
+        assert!(run(src).iter().any(|d| d.rule == "pii-sink"));
+        let inline = "fn f() { let ssn = get(); println!(\"got {ssn}\"); }\n";
+        assert!(run(inline).iter().any(|d| d.rule == "pii-sink"));
+    }
+
+    #[test]
+    fn redact_wrapped_args_pass() {
+        let src = "fn f(doc: &D) { eprintln!(\"{}\", redact(&doc.body)); }\n";
+        assert!(
+            run(src).iter().all(|d| d.rule != "pii-sink"),
+            "{:?}",
+            run(src)
+        );
+    }
+
+    #[test]
+    fn synth_crate_is_exempt_from_pii() {
+        let input = FileInput {
+            rel: "crates/synth/src/x.rs".into(),
+            class: FileClass::Library,
+            crate_name: Some("synth".into()),
+            text: "fn f() { format!(\"{}\", persona.ssn); }\n".into(),
+        };
+        let prep = Prepared::new(&input);
+        let diags = run_rules(&prep, &Config::default());
+        assert!(diags.iter().all(|d| d.rule != "pii-sink"), "{diags:?}");
+    }
+
+    #[test]
+    fn instant_now_flagged_in_library_not_obs() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(run(src).iter().any(|d| d.rule == "determinism"));
+        let obs = FileInput {
+            rel: "crates/obs/src/span.rs".into(),
+            class: FileClass::Library,
+            crate_name: Some("obs".into()),
+            text: src.into(),
+        };
+        let prep = Prepared::new(&obs);
+        assert!(run_rules(&prep, &Config::default())
+            .iter()
+            .all(|d| d.rule != "determinism"));
+    }
+
+    #[test]
+    fn hashmap_flagged_only_on_ordered_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(run(src).is_empty(), "not an ordered path by default");
+        let cfg = Config {
+            ordered_paths: vec!["crates/engine/src/x.rs".into()],
+            ..Config::default()
+        };
+        let input = lib_input(src);
+        let prep = Prepared::new(&input);
+        assert!(run_rules(&prep, &cfg)
+            .iter()
+            .any(|d| d.rule == "determinism"));
+    }
+
+    #[test]
+    fn wildcard_guard_flagged() {
+        let src = "fn f(&self) { let _ = self.state.lock(); }\n";
+        assert!(run(src).iter().any(|d| d.rule == "lock-discipline"));
+    }
+
+    #[test]
+    fn relock_same_scope_flagged_but_drop_clears() {
+        let relock = "fn f(&self) { let a = self.m.lock(); let b = self.m.lock(); }\n";
+        assert!(run(relock).iter().any(|d| d.rule == "lock-discipline"));
+        let dropped = "fn f(&self) { let a = self.m.lock(); drop(a); let b = self.m.lock(); }\n";
+        assert!(
+            run(dropped).iter().all(|d| d.rule != "lock-discipline"),
+            "{:?}",
+            run(dropped)
+        );
+        let sibling = "fn f(&self) { { let a = self.m.lock(); } { let b = self.m.lock(); } }\n";
+        assert!(run(sibling).iter().all(|d| d.rule != "lock-discipline"));
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere() {
+        let input = FileInput {
+            rel: "tests/x.rs".into(),
+            class: FileClass::Test,
+            crate_name: None,
+            text: "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n".into(),
+        };
+        let prep = Prepared::new(&input);
+        assert!(run_rules(&prep, &Config::default())
+            .iter()
+            .any(|d| d.rule == "unsafe-audit"));
+    }
+
+    #[test]
+    fn crate_root_without_forbid_flagged() {
+        let input = FileInput {
+            rel: "crates/geo/src/lib.rs".into(),
+            class: FileClass::Library,
+            crate_name: Some("geo".into()),
+            text: "//! docs\npub mod m;\n".into(),
+        };
+        let prep = Prepared::new(&input);
+        let diags = run_rules(&prep, &Config::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "unsafe-audit" && d.message.contains("forbid")));
+        let ok = FileInput {
+            text: "#![forbid(unsafe_code)]\npub mod m;\n".into(),
+            ..input
+        };
+        let prep = Prepared::new(&ok);
+        assert!(run_rules(&prep, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn inline_format_args_parser() {
+        assert_eq!(
+            inline_format_args("\"a {body} b {count:>3} {{esc}} {} {0}\""),
+            vec!["body".to_string(), "count".to_string()]
+        );
+    }
+}

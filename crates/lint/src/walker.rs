@@ -1,0 +1,139 @@
+//! Workspace file discovery: every non-vendor `.rs` file, classified by
+//! path convention.
+//!
+//! Skipped entirely: `target/`, `vendor/` (third-party stand-ins are not
+//! ours to police), hidden directories, and `fixtures/` directories under
+//! `tests/` (lint-rule fixtures *deliberately* contain violations).
+
+use crate::rules::{FileClass, FileInput};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// Recursively collect every checkable `.rs` file under `root`, sorted by
+/// workspace-relative path for deterministic output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<FileInput>> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let rel = relative(root, &path);
+        let text = fs::read_to_string(&path)?;
+        out.push(FileInput {
+            class: classify(&rel),
+            crate_name: crate_name(&rel),
+            rel,
+            text,
+        });
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &str) -> FileClass {
+    let segs: Vec<&str> = rel.split('/').collect();
+    if segs.contains(&"tests") {
+        FileClass::Test
+    } else if segs.contains(&"benches") {
+        FileClass::Bench
+    } else if segs.contains(&"examples") {
+        FileClass::Example
+    } else if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        FileClass::Bin
+    } else {
+        FileClass::Library
+    }
+}
+
+/// For `crates/<name>/…`, the crate directory name.
+pub fn crate_name(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name.to_string())
+}
+
+/// Walk up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/engine/src/queue.rs"), FileClass::Library);
+        assert_eq!(classify("crates/bench/src/bin/repro.rs"), FileClass::Bin);
+        assert_eq!(classify("src/main.rs"), FileClass::Bin);
+        assert_eq!(classify("tests/engine_determinism.rs"), FileClass::Test);
+        assert_eq!(classify("crates/lint/tests/fixtures.rs"), FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Example);
+        assert_eq!(classify("crates/bench/benches/x.rs"), FileClass::Bench);
+        assert_eq!(classify("src/lib.rs"), FileClass::Library);
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(
+            crate_name("crates/engine/src/queue.rs"),
+            Some("engine".into())
+        );
+        assert_eq!(crate_name("src/lib.rs"), None);
+        assert_eq!(crate_name("crates/lib.rs"), None);
+    }
+
+    #[test]
+    fn workspace_walk_finds_this_file_and_skips_vendor() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above crates/lint");
+        let files = collect_files(&root).expect("workspace walks");
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/walker.rs"));
+        assert!(files.iter().all(|f| !f.rel.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.rel.contains("/fixtures/")));
+        assert!(files.iter().all(|f| !f.rel.starts_with("target/")));
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-rule fixture tests.
+//!
+//! Each file under `fixtures/` carries deliberate violations of exactly
+//! one rule (the workspace walker skips `fixtures/` directories, so they
+//! never trip the real gate). These tests assert the *exact* diagnostics
+//! — file, line, column and rule — so any drift in the lexer or the rule
+//! logic shows up as a precise diff.
+
+use dox_lint::config::Config;
+use dox_lint::rules::{run_rules, FileClass, FileInput, Prepared};
+
+/// Lint `text` as if it were the library file `rel` of crate `demo`.
+fn lint(rel: &str, text: &str, cfg: &Config) -> Vec<(u32, u32, String)> {
+    let input = FileInput {
+        rel: rel.to_string(),
+        class: FileClass::Library,
+        crate_name: Some("demo".to_string()),
+        text: text.to_string(),
+    };
+    let prep = Prepared::new(&input);
+    run_rules(&prep, cfg)
+        .into_iter()
+        .map(|d| (d.line, d.col, d.rule.to_string()))
+        .collect()
+}
+
+#[test]
+fn panic_hygiene_fixture() {
+    let got = lint(
+        "crates/demo/src/panic_hygiene.rs",
+        include_str!("fixtures/panic_hygiene.rs"),
+        &Config::default(),
+    );
+    // The `justified` unwrap (inline allow) and the `#[cfg(test)]` unwrap
+    // produce nothing.
+    assert_eq!(
+        got,
+        vec![
+            (4, 7, "panic-hygiene".to_string()),
+            (8, 7, "panic-hygiene".to_string()),
+            (12, 5, "panic-hygiene".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn pii_sink_fixture() {
+    let got = lint(
+        "crates/demo/src/pii_sink.rs",
+        include_str!("fixtures/pii_sink.rs"),
+        &Config::default(),
+    );
+    // `body` as a sink argument, `{ssn}` as an inline format capture; the
+    // redact()-wrapped call is clean.
+    assert_eq!(
+        got,
+        vec![
+            (4, 20, "pii-sink".to_string()),
+            (8, 27, "pii-sink".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn determinism_fixture() {
+    let rel = "crates/demo/src/determinism.rs";
+    let cfg = Config {
+        ordered_paths: vec![rel.to_string()],
+        ..Config::default()
+    };
+    let got = lint(rel, include_str!("fixtures/determinism.rs"), &cfg);
+    assert_eq!(
+        got,
+        vec![
+            (3, 23, "determinism".to_string()),  // use …::HashMap
+            (7, 17, "determinism".to_string()),  // Instant::now()
+            (11, 20, "determinism".to_string()), // -> HashMap<…>
+            (12, 5, "determinism".to_string()),  // HashMap::new()
+        ]
+    );
+}
+
+#[test]
+fn determinism_fixture_off_ordered_paths_only_flags_clock() {
+    // The same file off the ordered-path list: HashMap is tolerated,
+    // wall-clock is not.
+    let got = lint(
+        "crates/demo/src/determinism.rs",
+        include_str!("fixtures/determinism.rs"),
+        &Config::default(),
+    );
+    assert_eq!(got, vec![(7, 17, "determinism".to_string())]);
+}
+
+#[test]
+fn lock_discipline_fixture() {
+    let got = lint(
+        "crates/demo/src/lock_discipline.rs",
+        include_str!("fixtures/lock_discipline.rs"),
+        &Config::default(),
+    );
+    assert_eq!(
+        got,
+        vec![
+            (6, 5, "lock-discipline".to_string()),   // let _ = m.lock()
+            (11, 19, "lock-discipline".to_string()), // re-lock while `guard` is live
+        ]
+    );
+}
+
+#[test]
+fn unsafe_audit_fixture() {
+    let got = lint(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/unsafe_audit.rs"),
+        &Config::default(),
+    );
+    assert_eq!(
+        got,
+        vec![
+            (1, 1, "unsafe-audit".to_string()), // crate root missing forbid(unsafe_code)
+            (3, 5, "unsafe-audit".to_string()), // the `unsafe` keyword itself
+        ]
+    );
+}

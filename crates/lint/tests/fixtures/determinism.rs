@@ -1,0 +1,13 @@
+//! Fixture: determinism findings (wall clock + hashed containers).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn counts() -> HashMap<String, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,26 @@
+//! Fixture: panic-hygiene findings and suppressions.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("always some")
+}
+
+pub fn bad_macro() {
+    panic!("boom");
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // dox-lint:allow(panic-hygiene) fixture: provably Some
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(None::<u32>.unwrap_or(7), 7);
+    }
+}

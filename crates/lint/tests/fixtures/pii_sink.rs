@@ -1,0 +1,14 @@
+//! Fixture: pii-sink findings and the redact() escape hatch.
+
+pub fn leaks_ident(body: &str) {
+    println!("{}", body);
+}
+
+pub fn leaks_inline_arg(ssn: &str) {
+    let message = format!("ssn is {ssn}");
+    drop(message);
+}
+
+pub fn redacted_is_fine(body: &str) {
+    println!("{}", dox_obs::redact(body));
+}

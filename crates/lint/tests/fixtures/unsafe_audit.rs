@@ -1,0 +1,3 @@
+//! Fixture: unsafe-audit (missing forbid, unsafe code).
+
+pub unsafe fn danger() {}

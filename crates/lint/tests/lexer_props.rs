@@ -1,0 +1,34 @@
+//! Property tests for the lexer: it must never panic, and every token's
+//! recorded span must slice the source back to exactly the token text.
+
+use dox_lint::lexer::lex;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary printable input (including multi-byte characters) never
+    /// panics the lexer.
+    #[test]
+    fn never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Input biased toward Rust's lexical hazards — quote characters, raw
+    /// string sigils, comment openers, braces — never panics the lexer.
+    /// Plain \PC rarely forms `r#"` or `/*`; this class forms them often.
+    #[test]
+    fn never_panics_on_hazard_soup(src in r##"["'rb#/*!\\a-z0-9 \n(){}._]{0,120}"##) {
+        let _ = lex(&src);
+    }
+
+    /// Tokens appear in source order, never overlap, and each one's
+    /// `(off, len)` span slices the source to exactly its `text`.
+    #[test]
+    fn spans_round_trip(src in r##"["'rb#/*!\\a-z0-9 \n(){}._]{0,120}"##) {
+        let mut prev_end = 0usize;
+        for t in lex(&src) {
+            prop_assert!(t.off >= prev_end, "tokens overlap or regress");
+            prop_assert_eq!(&src[t.off..t.off + t.len], t.text.as_str());
+            prev_end = t.off + t.len;
+        }
+    }
+}

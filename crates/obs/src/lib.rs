@@ -14,6 +14,9 @@
 //! * **Events** — a ring-buffered structured [`EventLog`] (level, target,
 //!   message, key/value fields) that replaces scattered `eprintln!` calls.
 //!   Echoing to stderr is a runtime toggle, so `--quiet` is one call.
+//! * **Redaction** — [`redact()`] wraps a sensitive string so only its
+//!   length and a stable fingerprint can reach a sink; `dox-lint`'s
+//!   `pii-sink` rule enforces that document content goes through it.
 //!
 //! Metrics observe the computation without participating in it: recording
 //! must never change what the pipeline produces. The study stays a pure
@@ -25,11 +28,13 @@
 
 pub mod event;
 pub mod metrics;
+pub mod redact;
 pub mod snapshot;
 pub mod span;
 
 pub use event::{Event, EventLog, Level};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
+pub use redact::{redact, Redacted};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{NoopRecorder, Recorder, StageSpan};
 

@@ -276,6 +276,7 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(Counter::default()))
         {
             Metric::Counter(c) => c.clone(),
+            // dox-lint:allow(panic-hygiene) documented contract: kind mismatch is programmer error
             other => panic!("metric {name:?} already registered as {other:?}"),
         }
     }
@@ -291,6 +292,7 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Gauge::default()))
         {
             Metric::Gauge(g) => g.clone(),
+            // dox-lint:allow(panic-hygiene) documented contract: kind mismatch is programmer error
             other => panic!("metric {name:?} already registered as {other:?}"),
         }
     }
@@ -306,6 +308,7 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(Histogram::default()))
         {
             Metric::Histogram(h) => h.clone(),
+            // dox-lint:allow(panic-hygiene) documented contract: kind mismatch is programmer error
             other => panic!("metric {name:?} already registered as {other:?}"),
         }
     }

@@ -22,6 +22,14 @@ else
     echo "clippy not installed; skipping"
 fi
 
+step "dox-lint --workspace (project static analysis)"
+# Exits nonzero on any non-baselined finding and on stale lint.toml
+# baseline entries (entries matching no finding must be removed).
+cargo run -p dox-lint --release -- --workspace
+
+step "cargo test -p dox-lint -q"
+cargo test -p dox-lint -q
+
 step "cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
