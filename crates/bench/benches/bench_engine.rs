@@ -12,7 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dox_bench::BenchFixture;
 use dox_core::pipeline::Pipeline;
 use dox_core::training::DoxClassifier;
-use dox_engine::{DoxDetector, Engine};
+use dox_engine::{DoxDetector, Engine, EngineFaults};
+use dox_fault::{FaultPlanConfig, RetryPolicy};
 use dox_sites::collect::{CollectedDoc, Collector};
 use std::hint::black_box;
 use std::ops::ControlFlow;
@@ -48,11 +49,31 @@ impl EngineFixture {
     }
 
     fn run_engine(&self, workers: usize, shards: usize) -> usize {
-        let engine = Engine::builder()
-            .workers(workers)
-            .shards(shards)
-            .build()
-            .expect("valid engine config");
+        self.run_engine_inner(workers, shards, None)
+    }
+
+    /// The same ingest with the fault layer armed but injecting nothing:
+    /// measures the pure bookkeeping overhead of consulting the plan on
+    /// every chunk (the price every resilient run pays, faults or not).
+    fn run_engine_healthy_plan(&self, workers: usize, shards: usize) -> usize {
+        let faults = EngineFaults {
+            plan: FaultPlanConfig::healthy(),
+            policy: RetryPolicy::default(),
+        };
+        self.run_engine_inner(workers, shards, Some(faults))
+    }
+
+    fn run_engine_inner(
+        &self,
+        workers: usize,
+        shards: usize,
+        faults: Option<EngineFaults>,
+    ) -> usize {
+        let mut builder = Engine::builder().workers(workers).shards(shards);
+        if let Some(faults) = faults {
+            builder = builder.faults(faults);
+        }
+        let engine = builder.build().expect("valid engine config");
         let detector: Arc<dyn DoxDetector> = self.classifier.clone();
         let mut session = engine.session(detector);
         for (period, doc) in &self.docs {
@@ -105,6 +126,19 @@ fn write_json(fixture: &EngineFixture, samples: usize) {
             docs as f64 / t,
             reference / t
         ));
+        // The fault layer armed with an all-healthy plan: the overhead of
+        // resilience when nothing goes wrong (contract: within a few
+        // percent of the plain engine).
+        let tf = fixture.time_median(samples, |f| f.run_engine_healthy_plan(workers, shards));
+        entries.push(format!(
+            "    {{ \"config\": \"engine w{workers} s{shards} healthy-plan\", \
+             \"workers\": {workers}, \"shards\": {shards}, \"seconds\": {tf:.6}, \
+             \"docs_per_sec\": {:.0}, \"speedup_vs_reference\": {:.3}, \
+             \"overhead_vs_no_plan\": {:.3} }}",
+            docs as f64 / tf,
+            reference / tf,
+            tf / t
+        ));
     }
     let json = format!(
         "{{\n  \"bench\": \"engine_ingest\",\n  \"scale\": {SCALE},\n  \"documents\": {docs},\n  \
@@ -123,13 +157,20 @@ fn bench_engine(c: &mut Criterion) {
     let fixture = EngineFixture::build();
     let docs = fixture.docs.len() as u64;
 
-    // The engine must agree with the reference before its speed means anything.
+    // The engine must agree with the reference before its speed means
+    // anything — with and without the fault layer armed.
     let expect = fixture.run_reference();
     for (workers, shards) in TOPOLOGIES {
         assert_eq!(
             fixture.run_engine(workers, shards),
             expect,
             "engine w{workers} s{shards} disagrees with the reference pipeline"
+        );
+        assert_eq!(
+            fixture.run_engine_healthy_plan(workers, shards),
+            expect,
+            "engine w{workers} s{shards} under a healthy fault plan \
+             disagrees with the reference pipeline"
         );
     }
 
@@ -144,6 +185,13 @@ fn bench_engine(c: &mut Criterion) {
             BenchmarkId::new("ingest", format!("w{workers}_s{shards}")),
             &(workers, shards),
             |b, &(workers, shards)| b.iter(|| black_box(fixture.run_engine(workers, shards))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ingest_healthy_plan", format!("w{workers}_s{shards}")),
+            &(workers, shards),
+            |b, &(workers, shards)| {
+                b.iter(|| black_box(fixture.run_engine_healthy_plan(workers, shards)))
+            },
         );
     }
     group.finish();

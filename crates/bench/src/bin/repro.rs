@@ -15,12 +15,23 @@
 //!   --json <path>      also write the machine-readable report
 //!   --metrics <path>   write the observability snapshot (per-stage spans,
 //!                      funnel counters, events) as JSON
+//!   --fault-plan <p>   inject deterministic faults from a JSON
+//!                      `FaultPlanConfig` (see DESIGN.md §9)
+//!   --checkpoint-dir <d>  persist resumable checkpoints into <d>
+//!   --checkpoint-every <n> checkpoint cadence in documents (default 10000)
+//!   --resume           resume from the checkpoint in --checkpoint-dir
 //!   --quiet            suppress progress notes and the profile on stderr
 //! ```
 //!
 //! The report is a pure function of `(scale, seed)`: any `--workers` /
 //! `--shards` combination — and `--reference` — produces byte-identical
-//! `--json` output.
+//! `--json` output. So does any fault plan whose faults all recover, and
+//! a kill/`--resume` pair: checkpoint-resumed runs re-emit the exact
+//! bytes of the uninterrupted run.
+//!
+//! A run halted by the fault plan's `kill_after_docs` switch exits with
+//! code 3 (distinct from ordinary failures) so harnesses can follow up
+//! with `--resume`.
 //!
 //! Wall-clock timings live only in the metrics snapshot and the stderr
 //! profile — never in the `--json` report, which stays byte-identical for
@@ -28,8 +39,13 @@
 
 use dox_core::report;
 use dox_core::study::{Study, StudyConfig};
+use dox_fault::FaultPlanConfig;
 use dox_obs::{Level, StageSpan};
 use std::process::ExitCode;
+
+/// Exit code for a run stopped by the fault plan's kill switch — distinct
+/// from ordinary failure so chaos harnesses can chain `--resume`.
+const EXIT_HALTED: u8 = 3;
 
 struct Args {
     scale: f64,
@@ -40,6 +56,10 @@ struct Args {
     table: Option<String>,
     json: Option<String>,
     metrics: Option<String>,
+    fault_plan: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
     quiet: bool,
 }
 
@@ -53,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
         table: None,
         json: None,
         metrics: None,
+        fault_plan: None,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +105,20 @@ fn parse_args() -> Result<Args, String> {
             "--table" => args.table = Some(it.next().ok_or("--table needs a value")?),
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a path")?),
+            "--fault-plan" => {
+                args.fault_plan = Some(it.next().ok_or("--fault-plan needs a path")?);
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(it.next().ok_or("--checkpoint-dir needs a path")?);
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                args.checkpoint_every = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad checkpoint cadence {v:?}"))?,
+                );
+            }
+            "--resume" => args.resume = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
@@ -101,6 +139,10 @@ const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --table <id>     fig1 t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 fig2 fig3 v-ip v-comments
   --json <path>    write the JSON report
   --metrics <path> write the metrics/span snapshot as JSON
+  --fault-plan <p> inject deterministic faults from a JSON FaultPlanConfig
+  --checkpoint-dir <d>   persist resumable checkpoints into <d>
+  --checkpoint-every <n> checkpoint cadence in documents (default 10000)
+  --resume         resume from the checkpoint in --checkpoint-dir
   --quiet          no progress or profile output";
 
 fn main() -> ExitCode {
@@ -125,6 +167,30 @@ fn main() -> ExitCode {
     if let Some(shards) = args.shards {
         config.engine.shards = shards;
     }
+    if let Some(path) = &args.fault_plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read fault plan {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let plan: FaultPlanConfig = match serde_json::from_str(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: bad fault plan {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        config.faults = Some(plan);
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        config.durability.checkpoint_dir = Some(dir.into());
+    }
+    if let Some(every) = args.checkpoint_every {
+        config.durability.checkpoint_every_docs = every;
+    }
+    config.durability.resume = args.resume;
     dox_obs::emit!(
         Level::Info,
         "repro",
@@ -142,6 +208,13 @@ fn main() -> ExitCode {
         study.run()
     } {
         Ok(r) => r,
+        Err(dox_core::Error::Halted { docs_ingested }) => {
+            eprintln!(
+                "halted: fault plan killed the run after {docs_ingested} documents; \
+                 rerun with --resume to continue from the last checkpoint"
+            );
+            return ExitCode::from(EXIT_HALTED);
+        }
         Err(e) => {
             eprintln!("error: study failed: {e}");
             return ExitCode::FAILURE;

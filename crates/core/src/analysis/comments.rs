@@ -37,7 +37,10 @@ pub fn analyze_comments(world: &SimOsnWorld, monitor: &mut Monitor) -> CommentAn
     let mut total = 0usize;
     let mut fetched = 0usize;
     for (account, at) in targets {
-        let Ok(comments) = monitor.scraper_mut().fetch_comments(world, account, at) else {
+        // Rate limits are retried and injected faults recovered inside the
+        // monitor; a `None` here is an explicitly counted miss, not a
+        // silent drop.
+        let Some(comments) = monitor.fetch_comments_recovering(world, account, at) else {
             continue;
         };
         fetched += 1;

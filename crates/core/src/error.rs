@@ -7,6 +7,7 @@
 //! aborting the process.
 
 use dox_engine::EngineError;
+use dox_osn::scraper::ScrapeError;
 
 /// Everything that can go wrong driving a study end to end.
 #[derive(Debug)]
@@ -19,6 +20,16 @@ pub enum Error {
     Training(String),
     /// A report failed to serialize.
     Serialize(serde_json::Error),
+    /// A scrape request failed in a way monitoring could not absorb.
+    Scrape(ScrapeError),
+    /// The run was deliberately halted mid-ingest by the fault plan's
+    /// kill switch (chaos testing); resume from the last checkpoint.
+    Halted {
+        /// Collected documents ingested before the halt.
+        docs_ingested: u64,
+    },
+    /// A checkpoint could not be loaded, validated, or written.
+    Checkpoint(String),
 }
 
 /// Convenience alias used by the fallible `dox-core` entry points.
@@ -30,6 +41,12 @@ impl std::fmt::Display for Error {
             Error::Engine(e) => write!(f, "ingest engine error: {e}"),
             Error::Training(why) => write!(f, "training corpus invariant violated: {why}"),
             Error::Serialize(e) => write!(f, "report serialization failed: {e}"),
+            Error::Scrape(e) => write!(f, "scrape failed: {e}"),
+            Error::Halted { docs_ingested } => write!(
+                f,
+                "run halted by the fault plan's kill switch after {docs_ingested} documents"
+            ),
+            Error::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
         }
     }
 }
@@ -39,7 +56,8 @@ impl std::error::Error for Error {
         match self {
             Error::Engine(e) => Some(e),
             Error::Serialize(e) => Some(e),
-            Error::Training(_) => None,
+            Error::Scrape(e) => Some(e),
+            Error::Training(_) | Error::Halted { .. } | Error::Checkpoint(_) => None,
         }
     }
 }
@@ -47,6 +65,12 @@ impl std::error::Error for Error {
 impl From<EngineError> for Error {
     fn from(e: EngineError) -> Self {
         Error::Engine(e)
+    }
+}
+
+impl From<ScrapeError> for Error {
+    fn from(e: ScrapeError) -> Self {
+        Error::Scrape(e)
     }
 }
 
@@ -66,6 +90,24 @@ mod tests {
         assert!(matches!(err, Error::Engine(EngineError::ZeroWorkers)));
         assert!(err.to_string().contains("worker"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn scrape_errors_convert_and_chain() {
+        let err = Error::from(ScrapeError::RateLimited {
+            retry_at: dox_osn::clock::SimTime(99),
+        });
+        assert!(err.to_string().contains("rate limited"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn halted_and_checkpoint_errors_render_context() {
+        let halted = Error::Halted { docs_ingested: 42 };
+        assert!(halted.to_string().contains("42"));
+        assert!(std::error::Error::source(&halted).is_none());
+        let ck = Error::Checkpoint("fingerprint mismatch".into());
+        assert!(ck.to_string().contains("fingerprint mismatch"));
     }
 
     #[test]

@@ -12,16 +12,25 @@
 //! [`dox_osn::scraper::Scraper`] — the same restricted vantage point the
 //! paper had.
 
+use dox_fault::{
+    run_op, BreakerConfig, BreakerSet, CoverageGaps, FaultDomain, FaultPlan, FaultPlanConfig,
+    FaultStats, RetryPolicy,
+};
 use dox_obs::{Counter, Histogram, Registry};
 use dox_osn::account::AccountId;
 use dox_osn::clock::{SimDuration, SimTime, MINUTES_PER_DAY};
+use dox_osn::comments::Comment;
 use dox_osn::platform::SimOsnWorld;
-use dox_osn::scraper::{Observation, Scraper};
+use dox_osn::scraper::{Observation, ScrapeError, Scraper};
 use rand::RngExt;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Bound on rate-limit retries per probe: the limiter always names a
+/// concrete `retry_at`, so a handful of hops reaches an admissible slot.
+const MAX_RATE_LIMIT_RETRIES: u32 = 8;
 
 /// The visit schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -133,13 +142,33 @@ impl AccountHistory {
     }
 }
 
+/// Fault machinery for a monitor: the plan, the retry policy, one
+/// breaker per network, and the running gap/retry tallies.
+struct MonitorFaults {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    breakers: BreakerSet,
+    stats: FaultStats,
+    gaps: CoverageGaps,
+}
+
 /// Executes the monitoring schedule for a set of accounts.
+///
+/// Scrape errors are handled, not dropped: a [`ScrapeError::RateLimited`]
+/// probe is retried at the limiter's own `retry_at` hint (bounded by
+/// a fixed retry ceiling), and a [`ScrapeError::UnknownAccount`] is
+/// counted in the `monitor.probe_failures` metric. A monitor built with
+/// [`Monitor::with_faults`] additionally routes every probe and comment
+/// fetch through a seeded [`FaultPlan`]; exhausted operations surface in
+/// [`Monitor::coverage_gaps`].
 pub struct Monitor {
     schedule: Schedule,
     scraper: Scraper,
     histories: HashMap<AccountId, AccountHistory>,
+    faults: Option<MonitorFaults>,
     enrollments: Counter,
     probes: Counter,
+    probe_failures: Counter,
     round_ns: Histogram,
 }
 
@@ -156,10 +185,54 @@ impl Monitor {
             schedule,
             scraper: Scraper::unlimited(),
             histories: HashMap::new(),
+            faults: None,
             enrollments: registry.counter("monitor.enrollments"),
             probes: registry.counter("monitor.probes"),
+            probe_failures: registry.counter("monitor.probe_failures"),
             round_ns: registry.histogram("monitor.scrape_round"),
         }
+    }
+
+    /// A monitor whose probes and comment fetches run through a fault
+    /// plan with retry/backoff and a per-network circuit breaker.
+    pub fn with_faults(
+        schedule: Schedule,
+        registry: &Registry,
+        plan: FaultPlanConfig,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> Self {
+        let mut monitor = Self::with_registry(schedule, registry);
+        monitor.faults = Some(MonitorFaults {
+            plan: FaultPlan::new(plan),
+            policy,
+            breakers: BreakerSet::new(breaker),
+            stats: FaultStats::default(),
+            gaps: CoverageGaps::default(),
+        });
+        monitor
+    }
+
+    /// Run the injected-fault gauntlet for one operation; `true` means
+    /// the operation (virtually) succeeded. Fault-free monitors always
+    /// succeed. Recovered operations keep their scheduled sim time — the
+    /// retries play out on the plan's virtual clock — so observations are
+    /// unchanged and output stays byte-identical.
+    fn faults_admit(&mut self, domain: FaultDomain, network: &str, key: u64, at: SimTime) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return true;
+        };
+        run_op(
+            &f.plan,
+            &f.policy,
+            Some(f.breakers.breaker(network)),
+            &mut f.stats,
+            domain,
+            network,
+            key,
+            at.0,
+        )
+        .is_ok()
     }
 
     /// Enroll an account first observed at `observed_at` and execute its
@@ -185,14 +258,102 @@ impl Monitor {
             first_observed: observed_at,
             observations: Vec::with_capacity(times.len()),
         };
-        for t in times {
+        for (i, t) in times.into_iter().enumerate() {
             self.probes.inc();
-            if let Ok(obs) = self.scraper.probe(world, account, t) {
-                history.observations.push(obs);
+            let key = jitter_key ^ ((i as u64) << 40);
+            if !self.faults_admit(FaultDomain::Probe, account.network.name(), key, t) {
+                if let Some(f) = self.faults.as_mut() {
+                    f.gaps.missed_probes += 1;
+                }
+                continue;
+            }
+            match self.probe_recovering(world, account, t) {
+                Ok(obs) => history.observations.push(obs),
+                Err(_) => self.probe_failures.inc(),
             }
         }
         self.histories.insert(account, history);
         self.round_ns.observe_duration(round_start.elapsed());
+    }
+
+    /// Probe once, retrying rate limits at the limiter's `retry_at` hint.
+    /// Only an [`ScrapeError::UnknownAccount`] (or a pathologically long
+    /// limiter queue) surfaces as an error.
+    fn probe_recovering(
+        &mut self,
+        world: &SimOsnWorld,
+        account: AccountId,
+        mut at: SimTime,
+    ) -> Result<Observation, ScrapeError> {
+        let mut attempts = 0;
+        loop {
+            match self.scraper.probe(world, account, at) {
+                Ok(obs) => return Ok(obs),
+                Err(ScrapeError::RateLimited { retry_at }) if attempts < MAX_RATE_LIMIT_RETRIES => {
+                    attempts += 1;
+                    at = retry_at.max(SimTime(at.0 + 1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fetch an account's public comments at `at`, riding out rate limits
+    /// and (for fault-injected monitors) the comment-fetch fault plan.
+    /// `None` records an explicit miss — counted in
+    /// [`Monitor::coverage_gaps`] when injected, in the
+    /// `monitor.probe_failures` metric when the platform itself refused.
+    pub fn fetch_comments_recovering(
+        &mut self,
+        world: &SimOsnWorld,
+        account: AccountId,
+        at: SimTime,
+    ) -> Option<Vec<Comment>> {
+        let key = (account.uid << 8) ^ account.network as u64 ^ 0xC033_E275;
+        if !self.faults_admit(FaultDomain::Comments, account.network.name(), key, at) {
+            if let Some(f) = self.faults.as_mut() {
+                f.gaps.missed_comment_fetches += 1;
+            }
+            return None;
+        }
+        let mut attempts = 0;
+        let mut at = at;
+        loop {
+            match self.scraper.fetch_comments(world, account, at) {
+                Ok(comments) => return Some(comments),
+                Err(ScrapeError::RateLimited { retry_at }) if attempts < MAX_RATE_LIMIT_RETRIES => {
+                    attempts += 1;
+                    at = retry_at.max(SimTime(at.0 + 1));
+                }
+                Err(_) => {
+                    self.probe_failures.inc();
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Retry/fault accounting with breaker transitions folded in; all
+    /// zeros for a fault-free monitor.
+    pub fn fault_stats(&self) -> FaultStats {
+        let Some(f) = &self.faults else {
+            return FaultStats::default();
+        };
+        let mut stats = f.stats;
+        let transitions = f.breakers.total_transitions();
+        stats.breaker_opens = transitions.opened;
+        stats.breaker_half_opens = transitions.half_opened;
+        stats.breaker_closes = transitions.closed;
+        stats
+    }
+
+    /// Probes and comment fetches lost to exhausted fault retries. Empty
+    /// for fault-free monitors and fully-recovered plans.
+    pub fn coverage_gaps(&self) -> CoverageGaps {
+        self.faults
+            .as_ref()
+            .map(|f| f.gaps.clone())
+            .unwrap_or_default()
     }
 
     /// All histories.

@@ -33,8 +33,9 @@ use crate::labeling::{label_sample, LabelingPlan};
 use crate::monitor::{Monitor, Schedule};
 use crate::pipeline::{Pipeline, PipelineCounters, PipelineOutput};
 use crate::training::{ClassifierSummary, DoxClassifier};
-use dox_engine::{DoxDetector, Engine, EngineConfig};
+use dox_engine::{DoxDetector, Engine, EngineConfig, EngineFaults, SessionCheckpoint};
 use dox_extract::accuracy::{evaluate_extractor, ExtractorEvaluation};
+use dox_fault::{BreakerConfig, CoverageGaps, FaultPlanConfig, FaultStats, RetryPolicy};
 use dox_geo::alloc::{AllocConfig, Allocation};
 use dox_geo::geoip::GeoIpDb;
 use dox_geo::model::{World, WorldConfig};
@@ -53,7 +54,35 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Where and how often a study persists resumable checkpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Durability {
+    /// Directory for `study_checkpoint.json`; `None` disables
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many ingested documents (0 is
+    /// treated as the default below).
+    pub checkpoint_every_docs: u64,
+    /// Resume from the checkpoint in `checkpoint_dir` instead of starting
+    /// fresh.
+    pub resume: bool,
+}
+
+impl Durability {
+    /// Default checkpoint cadence when `checkpoint_every_docs` is 0.
+    pub const DEFAULT_EVERY_DOCS: u64 = 10_000;
+
+    fn every(&self) -> u64 {
+        if self.checkpoint_every_docs == 0 {
+            Self::DEFAULT_EVERY_DOCS
+        } else {
+            self.checkpoint_every_docs
+        }
+    }
+}
 
 /// Everything a full study run needs.
 ///
@@ -88,6 +117,17 @@ pub struct StudyConfig {
     /// Ingest-engine topology ([`Study::run`]'s worker/shard/queue
     /// layout). Never affects the report — only throughput.
     pub engine: EngineConfig,
+    /// Deterministic fault plan injected at the collection, probe,
+    /// comment-fetch and engine-stage boundaries; `None` runs fault-free.
+    /// A plan whose faults all recover produces a report byte-identical
+    /// to the fault-free run.
+    pub faults: Option<FaultPlanConfig>,
+    /// Retry/backoff policy for injected faults.
+    pub retry: RetryPolicy,
+    /// Per-target circuit-breaker settings.
+    pub breaker: BreakerConfig,
+    /// Checkpoint/resume settings.
+    pub durability: Durability,
 }
 
 impl StudyConfig {
@@ -139,6 +179,10 @@ impl StudyConfig {
             ip_validation_sample: 50,
             extractor_sample: 125,
             engine: EngineConfig::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            durability: Durability::default(),
         }
     }
 }
@@ -174,10 +218,18 @@ impl StudyConfigBuilder {
     pub fn scale(mut self, scale: f64) -> Self {
         let seed = self.config.seed;
         let engine = self.config.engine.clone();
+        let faults = self.config.faults.clone();
+        let retry = self.config.retry;
+        let breaker = self.config.breaker;
+        let durability = self.config.durability.clone();
         self.config = StudyConfig::at_scale(scale);
         self.config.seed = seed;
         self.config.synth.seed = seed;
         self.config.engine = engine;
+        self.config.faults = faults;
+        self.config.retry = retry;
+        self.config.breaker = breaker;
+        self.config.durability = durability;
         self
     }
 
@@ -202,6 +254,43 @@ impl StudyConfigBuilder {
     /// Set the ingest-engine topology (workers, shards, queue depth).
     pub fn engine(mut self, engine: EngineConfig) -> Self {
         self.config.engine = engine;
+        self
+    }
+
+    /// Inject a deterministic fault plan at every I/O boundary.
+    pub fn faults(mut self, plan: FaultPlanConfig) -> Self {
+        self.config.faults = Some(plan);
+        self
+    }
+
+    /// Set the retry/backoff policy for injected faults.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Set the circuit-breaker settings.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Persist resumable checkpoints into `dir` during ingest.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.durability.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint every `docs` ingested documents (0 restores the
+    /// default cadence).
+    pub fn checkpoint_every(mut self, docs: u64) -> Self {
+        self.config.durability.checkpoint_every_docs = docs;
+        self
+    }
+
+    /// Resume from the checkpoint in the configured checkpoint dir.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.config.durability.resume = resume;
         self
     }
 
@@ -270,6 +359,55 @@ pub struct ExperimentReport {
     pub truth_total_doxes: u64,
     /// Detection quality: `(true positives, false positives)`.
     pub detection: (u64, u64),
+    /// Operations lost to exhausted fault retries — explicit coverage
+    /// gaps, never silent drops. All-zero for fault-free runs *and* for
+    /// fault plans whose every fault recovered, which is what makes a
+    /// recovered run byte-identical to the clean one.
+    pub coverage: CoverageGaps,
+}
+
+/// The on-disk resumable state of a study: the engine session checkpoint
+/// plus enough identity to refuse resuming under a different experiment.
+#[derive(Debug, Clone, Serialize)]
+struct StudyCheckpoint {
+    /// Fingerprint of `(seed, corpus volume, shards, fault plan)`.
+    fingerprint: u64,
+    /// Collected documents ingested into the engine so far. On resume the
+    /// deterministic generation/collection replays and the first
+    /// `docs_ingested` deliveries skip the (already absorbed) ingest.
+    docs_ingested: u64,
+    /// The engine's quiescent state.
+    session: SessionCheckpoint,
+}
+
+impl serde::Deserialize for StudyCheckpoint {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        Some(StudyCheckpoint {
+            fingerprint: value.get("fingerprint")?.as_u64()?,
+            docs_ingested: value.get("docs_ingested")?.as_u64()?,
+            session: SessionCheckpoint::from_value(value.get("session")?)?,
+        })
+    }
+}
+
+/// What a resumed run must match: the corpus identity (seed + volume),
+/// the dedup partitioning (shards) and the fault schedule. Worker count,
+/// queue depth and chunk size may all change freely between the killed
+/// run and the resume.
+fn config_fingerprint(cfg: &StudyConfig) -> u64 {
+    let plan = cfg.faults.as_ref().map_or(0, FaultPlanConfig::fingerprint);
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in [
+        cfg.seed,
+        cfg.synth.total_documents(),
+        cfg.engine.shards as u64,
+        plan,
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 29;
+    }
+    h
 }
 
 /// The study runner.
@@ -361,7 +499,10 @@ impl Study {
         // its worker pool and shards dedup state; results are
         // bit-identical to the sequential reference pipeline.
         let phase = StageSpan::enter(obs, "study.phase.collection");
-        let mut collector = Collector::new(seed);
+        let mut collector = match &cfg.faults {
+            Some(plan) => Collector::with_faults(seed, plan.clone(), cfg.retry, cfg.breaker),
+            None => Collector::new(seed),
+        };
         let mut events: Vec<DoxEvent> = Vec::new();
         let record_event =
             |events: &mut Vec<DoxEvent>, collected: &dox_sites::collect::CollectedDoc| {
@@ -395,27 +536,121 @@ impl Study {
             }
             pipeline.into_output()
         } else {
-            let engine = Engine::from_config(cfg.engine.clone())?;
+            let mut engine_cfg = cfg.engine.clone();
+            if let Some(plan) = &cfg.faults {
+                engine_cfg.faults = Some(EngineFaults {
+                    plan: plan.clone(),
+                    policy: cfg.retry,
+                });
+            }
+            let engine = Engine::from_config(engine_cfg)?;
             let detector: Arc<dyn DoxDetector> = Arc::new(classifier);
-            let mut session = engine.session_with_registry(detector, obs);
-            let mut ingest_err = None;
+
+            // Durability: `resume` replays the deterministic corpus and
+            // skips the deliveries the checkpointed engine has already
+            // absorbed; periodic checkpoints snapshot the quiesced engine.
+            let fingerprint = config_fingerprint(cfg);
+            let checkpoint_path = cfg
+                .durability
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| d.join("study_checkpoint.json"));
+            let every = cfg.durability.every();
+            // The kill switch models an external SIGKILL; a resumed run
+            // has already "survived" it, so it only arms on fresh runs.
+            let kill_after = if cfg.durability.resume {
+                None
+            } else {
+                cfg.faults.as_ref().and_then(|p| p.kill_after_docs)
+            };
+            let mut skip: u64 = 0;
+            let mut session = if cfg.durability.resume {
+                let path = checkpoint_path.as_ref().ok_or_else(|| {
+                    Error::Checkpoint("resume requested without a checkpoint dir".into())
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| Error::Checkpoint(format!("read {}: {e}", path.display())))?;
+                let loaded: StudyCheckpoint = serde_json::from_str(&text)?;
+                if loaded.fingerprint != fingerprint {
+                    return Err(Error::Checkpoint(format!(
+                        "checkpoint at {} belongs to a different experiment \
+                         (seed, scale, shard count or fault plan changed)",
+                        path.display()
+                    )));
+                }
+                skip = loaded.docs_ingested;
+                obs.events().emit(
+                    Level::Info,
+                    "study",
+                    "resuming from checkpoint",
+                    vec![("docs_ingested".into(), skip.to_string())],
+                );
+                engine.resume_session_with_registry(detector, obs, loaded.session)?
+            } else {
+                if let Some(dir) = &cfg.durability.checkpoint_dir {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| Error::Checkpoint(format!("create {}: {e}", dir.display())))?;
+                }
+                engine.session_with_registry(detector, obs)
+            };
+
+            let mut delivered: u64 = 0;
+            let mut halted = false;
+            let mut ingest_err: Option<Error> = None;
             'collect: for period in [1u8, 2] {
                 let flow = collector.collect_period(&mut gen, period, &mut |collected| {
+                    // Ground-truth dox events are rebuilt on every pass —
+                    // resume replays generation, so the OSN world sees the
+                    // same reactions either way.
                     record_event(&mut events, &collected);
-                    match session.ingest(period, collected) {
-                        Ok(()) => ControlFlow::Continue(()),
-                        Err(e) => {
-                            ingest_err = Some(e);
-                            ControlFlow::Break(())
+                    delivered += 1;
+                    if delivered <= skip {
+                        return ControlFlow::Continue(());
+                    }
+                    if kill_after.is_some_and(|k| delivered > k) {
+                        // Simulated SIGKILL: stop dead, do NOT checkpoint —
+                        // resume must work from the last periodic snapshot.
+                        halted = true;
+                        return ControlFlow::Break(());
+                    }
+                    if let Err(e) = session.ingest(period, collected) {
+                        ingest_err = Some(e.into());
+                        return ControlFlow::Break(());
+                    }
+                    if let Some(path) = &checkpoint_path {
+                        if delivered.is_multiple_of(every) {
+                            match session.checkpoint() {
+                                Ok(snapshot) => {
+                                    let checkpoint = StudyCheckpoint {
+                                        fingerprint,
+                                        docs_ingested: delivered,
+                                        session: snapshot,
+                                    };
+                                    if let Err(e) = write_checkpoint(path, &checkpoint) {
+                                        ingest_err = Some(e);
+                                        return ControlFlow::Break(());
+                                    }
+                                }
+                                Err(e) => {
+                                    ingest_err = Some(e.into());
+                                    return ControlFlow::Break(());
+                                }
+                            }
                         }
                     }
+                    ControlFlow::Continue(())
                 });
                 if flow == ControlFlow::Break(()) {
                     break 'collect;
                 }
             }
             if let Some(e) = ingest_err {
-                return Err(e.into());
+                return Err(e);
+            }
+            if halted {
+                return Err(Error::Halted {
+                    docs_ingested: delivered.saturating_sub(1),
+                });
             }
             session.finish()?
         };
@@ -486,9 +721,22 @@ impl Study {
         }
         drop(phase);
 
-        // 5. Monitoring: doxed accounts on the paper schedule.
+        // 5. Monitoring: doxed accounts on the paper schedule. The fault
+        // plan (when present) shadows the probe and comment-fetch
+        // boundaries; the control monitor below stays fault-free — the
+        // paper's control sample is a *measurement baseline*, and the
+        // comparison wants its weather constant.
         let phase = StageSpan::enter(obs, "study.phase.monitoring");
-        let mut monitor = Monitor::with_registry(cfg.schedule.clone(), obs);
+        let mut monitor = match &cfg.faults {
+            Some(plan) => Monitor::with_faults(
+                cfg.schedule.clone(),
+                obs,
+                plan.clone(),
+                cfg.retry,
+                cfg.breaker,
+            ),
+            None => Monitor::with_registry(cfg.schedule.clone(), obs),
+        };
         let mut monitored_ids: Vec<AccountId> = Vec::new();
         let unique: Vec<&crate::pipeline::DetectedDox> = output.unique_doxes().collect();
         for d in &unique {
@@ -630,6 +878,37 @@ impl Study {
             validate_by_ip(detected, &world, &geoip, cfg.ip_validation_sample, seed);
         drop(phase);
 
+        // Coverage gaps: everything the fault plan cost us, explicitly.
+        let mut coverage = collector.coverage_gaps();
+        coverage.absorb(&monitor.coverage_gaps());
+        coverage.stage_exhausted_docs += output.stage_gap_docs;
+        if cfg.faults.is_some() {
+            let mut fault_stats: FaultStats = collector.fault_stats();
+            fault_stats.absorb(&monitor.fault_stats());
+            obs.events().emit(
+                Level::Info,
+                "study",
+                "fault summary",
+                vec![
+                    ("ops".into(), fault_stats.ops.to_string()),
+                    ("faults".into(), fault_stats.faults_injected.to_string()),
+                    ("retries".into(), fault_stats.retries.to_string()),
+                    ("exhausted".into(), fault_stats.exhausted.to_string()),
+                    (
+                        "breaker_opens".into(),
+                        fault_stats.breaker_opens.to_string(),
+                    ),
+                    ("coverage_gaps".into(), coverage.total().to_string()),
+                ],
+            );
+            if let Some(breakers) = collector.breakers() {
+                for (target, breaker) in breakers.iter() {
+                    obs.gauge(&format!("fault.breaker.{target}"))
+                        .set(breaker.state().as_gauge());
+                }
+            }
+        }
+
         Ok(ExperimentReport {
             pipeline: output.counters().clone(),
             classifier: classifier_summary,
@@ -654,8 +933,21 @@ impl Study {
             monitored_per_network,
             truth_total_doxes: cfg.synth.total_doxes(),
             detection: output.detection_quality(),
+            coverage,
         })
     }
+}
+
+/// Atomically persist a checkpoint: write to a temp file, then rename
+/// into place, so a kill mid-write can never leave a torn checkpoint.
+fn write_checkpoint(path: &std::path::Path, checkpoint: &StudyCheckpoint) -> Result<()> {
+    let json = serde_json::to_string(checkpoint)?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)
+        .map_err(|e| Error::Checkpoint(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| Error::Checkpoint(format!("rename to {}: {e}", path.display())))?;
+    Ok(())
 }
 
 #[cfg(test)]

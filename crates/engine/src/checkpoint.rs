@@ -1,0 +1,153 @@
+//! Session checkpoints: the serializable quiescent state of an ingest
+//! run.
+//!
+//! A checkpoint is taken only at **quiescence** — every dispatched chunk
+//! routed, every routed dox committed (see
+//! [`Session::checkpoint`](crate::Session::checkpoint)). At that moment
+//! both reorder buffers are empty, so the only sequencing state worth
+//! persisting is the pair of cursors (`next_chunk_seq`, `dox_seq`); the
+//! heavy state is the dedup shards, the funnel counters and the detected
+//! log. Restoring a checkpoint into a fresh session and replaying the
+//! remaining document stream yields output byte-identical to the
+//! uninterrupted run — the property the fault-matrix test enforces.
+//!
+//! The format is JSON via the workspace's value-tree serde; field order
+//! and the sorted [`DedupSnapshot`] entry lists make the encoding a pure
+//! function of the state, so identical states produce identical bytes.
+
+use crate::dedup::DedupSnapshot;
+use crate::output::{DetectedDox, PipelineCounters};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Format version stamped into every checkpoint; bumped on any encoding
+/// change so a stale file is rejected instead of misread.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The complete quiescent state of a [`Session`](crate::Session).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionCheckpoint {
+    /// Encoding version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Dedup shard count the state was sharded for. A checkpoint can be
+    /// resumed under any worker count but **only** the same shard count —
+    /// dedup state is partitioned by `signature % shards`.
+    pub shards: usize,
+    /// The next chunk sequence number the session will stamp (and the
+    /// router's reorder cursor — equal at quiescence).
+    pub next_chunk_seq: u64,
+    /// The next dox sequence number the router will stamp (and the
+    /// committer's reorder cursor — equal at quiescence).
+    pub dox_seq: u64,
+    /// Funnel counters accumulated by the router (document-level half).
+    pub router_counters: PipelineCounters,
+    /// Ids of documents labeled dox so far.
+    pub dox_ids: BTreeSet<u64>,
+    /// Documents lost to poisoned stage workers so far.
+    pub stage_gap_docs: u64,
+    /// Funnel counters accumulated by the committer (dedup-level half).
+    pub committer_counters: PipelineCounters,
+    /// Every detected dox committed so far, stream order.
+    pub detected: Vec<DetectedDox>,
+    /// One snapshot per dedup shard, shard order.
+    pub dedups: Vec<DedupSnapshot>,
+}
+
+impl Deserialize for SessionCheckpoint {
+    fn from_value(value: &Value) -> Option<Self> {
+        let checkpoint = SessionCheckpoint {
+            version: u32::try_from(value.get("version")?.as_u64()?).ok()?,
+            shards: usize::try_from(value.get("shards")?.as_u64()?).ok()?,
+            next_chunk_seq: value.get("next_chunk_seq")?.as_u64()?,
+            dox_seq: value.get("dox_seq")?.as_u64()?,
+            router_counters: PipelineCounters::from_value(value.get("router_counters")?)?,
+            dox_ids: value
+                .get("dox_ids")?
+                .as_array()?
+                .iter()
+                .map(Value::as_u64)
+                .collect::<Option<BTreeSet<_>>>()?,
+            stage_gap_docs: value.get("stage_gap_docs")?.as_u64()?,
+            committer_counters: PipelineCounters::from_value(value.get("committer_counters")?)?,
+            detected: value
+                .get("detected")?
+                .as_array()?
+                .iter()
+                .map(DetectedDox::from_value)
+                .collect::<Option<Vec<_>>>()?,
+            dedups: value
+                .get("dedups")?
+                .as_array()?
+                .iter()
+                .map(DedupSnapshot::from_value)
+                .collect::<Option<Vec<_>>>()?,
+        };
+        (checkpoint.version == CHECKPOINT_VERSION).then_some(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::Deduplicator;
+    use dox_extract::record::extract;
+    use dox_osn::clock::SimTime;
+    use dox_synth::corpus::Source;
+
+    fn sample() -> SessionCheckpoint {
+        let mut dedup = Deduplicator::new();
+        let body = "Name: A Person\nfb: a.person9";
+        dedup.check(3, body, &extract(body));
+        let router_counters = PipelineCounters {
+            total: 5,
+            per_period: [3, 2],
+            per_source: [("pastebin.com".to_string(), 5)].into_iter().collect(),
+            classified_dox: 1,
+            ..PipelineCounters::default()
+        };
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            shards: 2,
+            next_chunk_seq: 4,
+            dox_seq: 1,
+            router_counters,
+            dox_ids: [3u64].into_iter().collect(),
+            stage_gap_docs: 0,
+            committer_counters: PipelineCounters::default(),
+            detected: vec![DetectedDox {
+                doc_id: 3,
+                source: Source::Pastebin,
+                period: 1,
+                posted_at: SimTime(10),
+                observed_at: SimTime(15),
+                text: body.to_string(),
+                extracted: extract(body),
+                duplicate: None,
+                truth: None,
+            }],
+            dedups: vec![dedup.snapshot(), Deduplicator::new().snapshot()],
+        }
+    }
+
+    #[test]
+    fn checkpoints_round_trip_byte_identically() {
+        let original = sample();
+        let json = serde_json::to_string(&original).expect("serializes");
+        let parsed: SessionCheckpoint = serde_json::from_str(&json).expect("parses");
+        assert_eq!(parsed, original);
+        let rewritten = serde_json::to_string(&parsed).expect("serializes again");
+        assert_eq!(rewritten, json, "round trip is byte-stable");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut stale = sample();
+        stale.version = CHECKPOINT_VERSION + 1;
+        let json = serde_json::to_string(&stale).expect("serializes");
+        assert!(
+            serde_json::from_str::<SessionCheckpoint>(&json).is_err(),
+            "future version must not parse"
+        );
+    }
+}

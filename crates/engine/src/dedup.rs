@@ -46,6 +46,19 @@ pub enum DuplicateKind {
     Fuzzy,
 }
 
+// The vendored serde cannot derive `Deserialize`; checkpoints round-trip
+// dedup state by hand.
+impl serde::Deserialize for DuplicateKind {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        match value.as_str()? {
+            "ExactBody" => Some(DuplicateKind::ExactBody),
+            "AccountSet" => Some(DuplicateKind::AccountSet),
+            "Fuzzy" => Some(DuplicateKind::Fuzzy),
+            _ => None,
+        }
+    }
+}
+
 /// The stable routing signature of one classified dox: the hash of its
 /// non-empty account-set key, else the hash of its body.
 ///
@@ -124,6 +137,88 @@ pub struct DedupCounts {
     pub fuzzy: u64,
 }
 
+impl serde::Deserialize for DedupCounts {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        Some(DedupCounts {
+            total: value.get("total")?.as_u64()?,
+            exact: value.get("exact")?.as_u64()?,
+            account_set: value.get("account_set")?.as_u64()?,
+            fuzzy: value.get("fuzzy")?.as_u64()?,
+        })
+    }
+}
+
+/// A serializable snapshot of one [`Deduplicator`]'s state.
+///
+/// The live deduplicator keys its maps by hash for speed; the snapshot
+/// flattens them into **sorted** entry lists so the serialized form is a
+/// pure function of the state (the hash maps iterate in nondeterministic
+/// order) and checkpoint files stay byte-stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DedupSnapshot {
+    /// `(body hash, first doc id)` pairs, sorted by hash.
+    pub bodies: Vec<(u64, u64)>,
+    /// `(account-set key, first doc id)` pairs, sorted by key.
+    pub account_sets: Vec<(Vec<(Network, String)>, u64)>,
+    /// SimHashes of seen docs, insertion order (only non-empty when the
+    /// fuzzy pass is on, which the engine never enables).
+    pub simhashes: Vec<(u64, u64)>,
+    /// Fuzzy threshold, when the third pass is enabled.
+    pub fuzzy_threshold: Option<u32>,
+    /// Counters per kind.
+    pub counts: DedupCounts,
+}
+
+impl serde::Deserialize for DedupSnapshot {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        use serde::value::Value;
+        let u64_pair = |v: &Value| {
+            let pair = v.as_array()?;
+            Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+        };
+        Some(DedupSnapshot {
+            bodies: value
+                .get("bodies")?
+                .as_array()?
+                .iter()
+                .map(u64_pair)
+                .collect::<Option<Vec<_>>>()?,
+            account_sets: value
+                .get("account_sets")?
+                .as_array()?
+                .iter()
+                .map(|entry| {
+                    let entry = entry.as_array()?;
+                    let key = entry
+                        .first()?
+                        .as_array()?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_array()?;
+                            Some((
+                                Network::from_value(pair.first()?)?,
+                                pair.get(1)?.as_str()?.to_string(),
+                            ))
+                        })
+                        .collect::<Option<Vec<_>>>()?;
+                    Some((key, entry.get(1)?.as_u64()?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+            simhashes: value
+                .get("simhashes")?
+                .as_array()?
+                .iter()
+                .map(u64_pair)
+                .collect::<Option<Vec<_>>>()?,
+            fuzzy_threshold: match value.get("fuzzy_threshold")? {
+                Value::Null => None,
+                other => Some(u32::try_from(other.as_u64()?).ok()?),
+            },
+            counts: DedupCounts::from_value(value.get("counts")?)?,
+        })
+    }
+}
+
 impl DedupCounts {
     /// All duplicates.
     pub fn duplicates(&self) -> u64 {
@@ -153,6 +248,38 @@ impl Deduplicator {
         Self {
             fuzzy_threshold: Some(threshold),
             ..Self::default()
+        }
+    }
+
+    /// Capture this deduplicator's state as a stable snapshot (entries
+    /// sorted, see [`DedupSnapshot`]).
+    pub fn snapshot(&self) -> DedupSnapshot {
+        let mut bodies: Vec<(u64, u64)> = self.bodies.iter().map(|(&k, &v)| (k, v)).collect();
+        bodies.sort_unstable();
+        let mut account_sets: Vec<(Vec<(Network, String)>, u64)> = self
+            .account_sets
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        account_sets.sort();
+        DedupSnapshot {
+            bodies,
+            account_sets,
+            simhashes: self.simhashes.clone(),
+            fuzzy_threshold: self.fuzzy_threshold,
+            counts: self.counts,
+        }
+    }
+
+    /// Rebuild a deduplicator from a snapshot. Verdicts after the restore
+    /// are identical to what the snapshotted instance would have produced.
+    pub fn restore(snapshot: DedupSnapshot) -> Self {
+        Self {
+            bodies: snapshot.bodies.into_iter().collect(),
+            account_sets: snapshot.account_sets.into_iter().collect(),
+            simhashes: snapshot.simhashes,
+            fuzzy_threshold: snapshot.fuzzy_threshold,
+            counts: snapshot.counts,
         }
     }
 
@@ -318,6 +445,49 @@ mod tests {
             );
             assert!(shard_of(shard_signature(DOX_B, &c), shards) < shards);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_state_and_verdicts() {
+        let mut live = Deduplicator::new();
+        live.check(1, DOX_A, &extract(DOX_A));
+        live.check(2, "plain paste", &extract("plain paste"));
+        live.check(3, DOX_A_REWORDED, &extract(DOX_A_REWORDED));
+
+        let snap = live.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let parsed: DedupSnapshot = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(parsed, snap);
+
+        let mut restored = Deduplicator::restore(parsed);
+        // Both instances must agree on every future verdict.
+        for (id, body) in [(4u64, DOX_A), (5, DOX_A_REWORDED), (6, DOX_B), (7, DOX_B)] {
+            let rec = extract(body);
+            assert_eq!(
+                restored.check(id, body, &rec),
+                live.check(id, body, &rec),
+                "doc {id}"
+            );
+        }
+        assert_eq!(restored.counts, live.counts);
+    }
+
+    #[test]
+    fn snapshots_are_byte_stable() {
+        // HashMap iteration order varies run to run; the snapshot must not.
+        let build = || {
+            let mut d = Deduplicator::new();
+            for (i, body) in [DOX_A, DOX_B, DOX_A_REWORDED, "x", "y", "z"]
+                .iter()
+                .enumerate()
+            {
+                d.check(i as u64, body, &extract(body));
+            }
+            d.snapshot()
+        };
+        let a = serde_json::to_string(&build()).expect("serializes");
+        let b = serde_json::to_string(&build()).expect("serializes");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -34,10 +34,19 @@
 //! The engine deliberately knows nothing about the trained classifier in
 //! `dox-core`: it accepts anything implementing [`DoxDetector`], which is
 //! what lets `dox-core` sit *above* this crate and re-export it.
+//!
+//! # Fault tolerance
+//!
+//! An engine built with [`EngineBuilder::faults`] injects deterministic
+//! stage faults from a [`dox_fault::FaultPlanConfig`] — slow and poisoned
+//! chunks — and [`Session::checkpoint`] plus [`Engine::resume_session`]
+//! make a killed run resumable with byte-identical output. See the
+//! [`session`] and [`checkpoint`] module docs.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod dedup;
 pub mod output;
 pub mod queue;
@@ -45,13 +54,31 @@ pub mod reorder;
 pub mod session;
 pub mod stage;
 
-pub use dedup::{Deduplicator, DuplicateKind};
+pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
+pub use dedup::{DedupSnapshot, Deduplicator, DuplicateKind};
 pub use output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
 pub use session::Session;
 pub use stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
 
+use dox_fault::{FaultPlanConfig, RetryPolicy};
 use dox_obs::Registry;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// The panic message recovered from a dead engine thread — the chained
+/// [`source`](std::error::Error::source) behind
+/// [`EngineError::StageFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePanic(pub String);
+
+impl std::fmt::Display for StagePanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for StagePanic {}
 
 /// Errors from building an engine or running a session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,8 +98,25 @@ pub enum EngineError {
     /// A stage queue was closed while the session was still feeding it
     /// (only possible if a downstream thread died).
     Disconnected,
-    /// A named engine thread panicked.
-    StageFailed(&'static str),
+    /// A named engine thread panicked; the recovered panic message is the
+    /// chained [`source`](std::error::Error::source).
+    StageFailed {
+        /// Which pipeline stage died.
+        stage: &'static str,
+        /// The panic payload it died with.
+        cause: StagePanic,
+    },
+    /// A checkpoint was resumed under a different dedup shard count than
+    /// it was taken with — the shard-partitioned state would be routed
+    /// wrongly.
+    CheckpointShardMismatch {
+        /// Shards the resuming engine is configured for.
+        expected: usize,
+        /// Shards the checkpoint was taken with.
+        found: usize,
+    },
+    /// The pipeline failed to quiesce within the checkpoint deadline.
+    CheckpointStalled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -86,15 +130,56 @@ impl std::fmt::Display for EngineError {
                 write!(f, "period {p} is not a collection period (expected 1 or 2)")
             }
             EngineError::Disconnected => write!(f, "engine stage disconnected mid-stream"),
-            EngineError::StageFailed(stage) => write!(f, "engine {stage} thread panicked"),
+            EngineError::StageFailed { stage, .. } => write!(f, "engine {stage} thread panicked"),
+            EngineError::CheckpointShardMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken with {found} dedup shards but the engine has {expected}"
+            ),
+            EngineError::CheckpointStalled => {
+                write!(f, "engine failed to quiesce within the checkpoint deadline")
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::StageFailed { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic fault injection for the engine's stage workers: the
+/// schedule of slow/poisoned chunks and the retry budget the simulated
+/// supervisor gets before declaring a chunk lost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct EngineFaults {
+    /// The seeded fault schedule (only its stage-domain knobs apply here).
+    pub plan: FaultPlanConfig,
+    /// Retry budget for poisoned chunks; a chunk whose poison count
+    /// exceeds `policy.max_retries` becomes an explicit coverage gap.
+    pub policy: RetryPolicy,
+}
+
+impl Deserialize for EngineFaults {
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(EngineFaults {
+            plan: FaultPlanConfig::from_value(value.get("plan")?)?,
+            policy: RetryPolicy::from_value(value.get("policy")?)?,
+        })
+    }
+}
 
 /// Tuning knobs for the ingest topology. None of them affect the result —
 /// only throughput and memory. Build one through [`Engine::builder`].
+///
+/// The one exception to "never affects the result" is `faults`
+/// (`EngineConfig::faults`): an exhausted poisoned chunk drops its
+/// documents into the explicit [`PipelineOutput::stage_gap_docs`] count.
+/// Recovered faults (slow chunks, sub-budget poison) still never change a
+/// byte of output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Stage worker threads running the pure classify/extract stage.
@@ -106,6 +191,8 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Documents per work chunk (amortizes queue handoff).
     pub chunk: usize,
+    /// Deterministic stage-fault injection; `None` runs fault-free.
+    pub faults: Option<EngineFaults>,
 }
 
 impl Default for EngineConfig {
@@ -117,6 +204,7 @@ impl Default for EngineConfig {
             shards: 8,
             queue_depth: 4,
             chunk: 1024,
+            faults: None,
         }
     }
 }
@@ -181,6 +269,12 @@ impl EngineBuilder {
         self
     }
 
+    /// Inject deterministic stage faults from a seeded plan.
+    pub fn faults(mut self, faults: EngineFaults) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
     /// Validate the topology and produce the engine.
     pub fn build(self) -> Result<Engine, EngineError> {
         self.config.validate()?;
@@ -227,7 +321,39 @@ impl Engine {
         classifier: Arc<dyn DoxDetector>,
         registry: &Registry,
     ) -> Session {
-        Session::spawn(&self.config, classifier, registry)
+        Session::spawn(&self.config, classifier, registry, None)
+    }
+
+    /// Resume a session from a checkpoint, reporting into the
+    /// process-global metrics registry. The checkpoint must have been
+    /// taken under the same shard count; workers may differ freely.
+    pub fn resume_session(
+        &self,
+        classifier: Arc<dyn DoxDetector>,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<Session, EngineError> {
+        self.resume_session_with_registry(classifier, dox_obs::global(), checkpoint)
+    }
+
+    /// Resume a session from a checkpoint into an explicit registry.
+    pub fn resume_session_with_registry(
+        &self,
+        classifier: Arc<dyn DoxDetector>,
+        registry: &Registry,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<Session, EngineError> {
+        if checkpoint.shards != self.config.shards {
+            return Err(EngineError::CheckpointShardMismatch {
+                expected: self.config.shards,
+                found: checkpoint.shards,
+            });
+        }
+        Ok(Session::spawn(
+            &self.config,
+            classifier,
+            registry,
+            Some(checkpoint),
+        ))
     }
 }
 
@@ -273,8 +399,21 @@ mod tests {
     #[test]
     fn errors_render_useful_messages() {
         assert!(EngineError::InvalidPeriod(7).to_string().contains('7'));
-        assert!(EngineError::StageFailed("router")
-            .to_string()
-            .contains("router"));
+        let failed = EngineError::StageFailed {
+            stage: "router",
+            cause: StagePanic("boom".into()),
+        };
+        assert!(failed.to_string().contains("router"));
+        use std::error::Error;
+        assert_eq!(
+            failed.source().map(ToString::to_string),
+            Some("boom".into())
+        );
+        assert!(EngineError::CheckpointShardMismatch {
+            expected: 8,
+            found: 4
+        }
+        .to_string()
+        .contains('8'));
     }
 }

@@ -26,8 +26,15 @@ impl<T> Default for ReorderBuffer<T> {
 impl<T> ReorderBuffer<T> {
     /// An empty buffer expecting sequence number 0 first.
     pub fn new() -> Self {
+        Self::with_next(0)
+    }
+
+    /// An empty buffer expecting `next` first — how a resumed session
+    /// restores its sequence cursor (checkpoints are taken at quiescence,
+    /// so only the cursor needs to survive, never pending items).
+    pub fn with_next(next: u64) -> Self {
         Self {
-            next: 0,
+            next,
             pending: BTreeMap::new(),
         }
     }
@@ -83,6 +90,17 @@ mod tests {
         assert_eq!(r.pop_ready(), Some("c"));
         assert!(r.is_drained());
         assert_eq!(r.next_seq(), 3);
+    }
+
+    #[test]
+    fn restored_cursor_resumes_mid_sequence() {
+        let mut r = ReorderBuffer::with_next(7);
+        assert_eq!(r.next_seq(), 7);
+        r.push(8, "b");
+        assert_eq!(r.pop_ready(), None);
+        r.push(7, "a");
+        assert_eq!(r.pop_ready(), Some("a"));
+        assert_eq!(r.pop_ready(), Some("b"));
     }
 
     #[test]

@@ -32,22 +32,52 @@
 //! committer reorders verdicts back into `dox_seq` order before touching
 //! the duplicate counters and the detected log. The result is
 //! byte-identical to one sequential pass for any `(workers, shards)`.
+//!
+//! ## Shared state and checkpoints
+//!
+//! The stateful stages keep their accumulations in a `Shared` block of
+//! mutexes rather than thread-local state so the session can observe them
+//! mid-run. [`Session::checkpoint`] flushes the partial chunk, waits for
+//! **quiescence** (every dispatched chunk routed, every routed dox
+//! committed — tracked by the `Progress` ledger and its condvar), then
+//! snapshots everything while the pipeline is momentarily idle. Both
+//! reorder buffers are provably empty at quiescence, so only their
+//! cursors are persisted. The mutexes are uncontended in steady state —
+//! each is locked by exactly one thread except during a checkpoint.
+//!
+//! ## Fault injection
+//!
+//! When the engine config carries [`EngineFaults`](crate::EngineFaults),
+//! stage workers consult the plan's
+//! [`stage_directive`](dox_fault::FaultPlan::stage_directive) per chunk:
+//! slow chunks insert cooperative yields (scheduling pressure only —
+//! results are unaffected, which the determinism tests verify), poisoned
+//! chunks simulate a worker that panics on the chunk some number of times.
+//! A poisoned chunk whose failure count exceeds the retry budget marks
+//! every document in it as a **stage coverage gap** — counted explicitly
+//! in [`PipelineOutput::stage_gap_docs`], never silently dropped.
 
+use crate::checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 use crate::dedup::{shard_of, shard_signature, Deduplicator, DuplicateKind};
 use crate::output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
 use crate::queue::Queue;
 use crate::reorder::ReorderBuffer;
 use crate::stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
-use crate::{EngineConfig, EngineError};
+use crate::{EngineConfig, EngineError, StagePanic};
+use dox_fault::{FaultPlan, StageDirective};
 use dox_obs::{Counter, Gauge, Histogram, Registry};
 use dox_osn::clock::SimTime;
 use dox_sites::collect::CollectedDoc;
 use dox_synth::corpus::Source;
 use dox_synth::truth::{DoxTruth, GroundTruth};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long [`Session::checkpoint`] waits for the pipeline to quiesce
+/// before giving up with [`EngineError::CheckpointStalled`].
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// A batch of collected documents, stamped with the chunk sequence
 /// number the router reorders on. Each document carries its collection
@@ -57,11 +87,21 @@ struct WorkChunk {
     docs: Vec<(u8, CollectedDoc)>,
 }
 
-/// A chunk after the pure stage: same sequence number, each document now
-/// paired with its classification/extraction outcome.
+/// What the stage produced for one document: the pure outcome, or a
+/// marker that a poisoned worker exhausted its retries on the chunk.
+// `Failed` is the rare case; boxing `Done` to shrink the enum would buy
+// an allocation per document on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum StageOutcome {
+    Done(StagedDoc),
+    Failed,
+}
+
+/// A chunk after the stage: same sequence number, each document now
+/// paired with its outcome.
 struct StagedChunk {
     seq: u64,
-    items: Vec<(u8, CollectedDoc, StagedDoc)>,
+    items: Vec<(u8, CollectedDoc, StageOutcome)>,
 }
 
 /// One classified dox on its way to a dedup shard.
@@ -83,6 +123,68 @@ struct Verdict {
     duplicate: Option<(DuplicateKind, u64)>,
 }
 
+/// The router's accumulated state (document-level commit point).
+#[derive(Default)]
+struct RouterState {
+    reorder: ReorderBuffer<Vec<(u8, CollectedDoc, StageOutcome)>>,
+    counters: PipelineCounters,
+    dox_ids: BTreeSet<u64>,
+    dox_seq: u64,
+    stage_gap_docs: u64,
+}
+
+/// The committer's accumulated state (dedup-level commit point).
+#[derive(Default)]
+struct CommitterState {
+    reorder: ReorderBuffer<Verdict>,
+    counters: PipelineCounters,
+    detected: Vec<DetectedDox>,
+}
+
+/// Completion ledger backing the quiesce protocol: the session is
+/// quiescent exactly when `chunks_routed` equals the number of chunks
+/// dispatched and every routed dox has been committed.
+#[derive(Default)]
+struct Progress {
+    chunks_routed: u64,
+    doxes_routed: u64,
+    doxes_committed: u64,
+}
+
+/// State shared between the session handle and its worker threads so
+/// checkpoints can observe it at quiescence.
+struct Shared {
+    router: Mutex<RouterState>,
+    committer: Mutex<CommitterState>,
+    dedups: Vec<Mutex<Deduplicator>>,
+    progress: Mutex<Progress>,
+    quiesced: Condvar,
+}
+
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it —
+/// same policy as [`crate::queue`]: state mutations are single-assignment
+/// per document, so observers prefer the last consistent state over
+/// propagating a panic.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Map a thread panic payload into the chained cause on
+/// [`EngineError::StageFailed`].
+fn stage_failed(stage: &'static str) -> impl FnOnce(Box<dyn std::any::Any + Send>) -> EngineError {
+    move |payload| {
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic payload was not a string".to_string());
+        EngineError::StageFailed {
+            stage,
+            cause: StagePanic(message),
+        }
+    }
+}
+
 /// A running ingest session.
 ///
 /// Created by [`Engine::session`](crate::Engine::session); feed it with
@@ -90,19 +192,22 @@ struct Verdict {
 /// [`finish`](Session::finish). The calling thread is the producer: when
 /// the work queue is full, `ingest` blocks — that backpressure is what
 /// bounds memory to roughly `queue_depth × chunk` documents regardless of
-/// corpus size.
+/// corpus size. [`checkpoint`](Session::checkpoint) captures a resumable
+/// snapshot mid-stream.
 pub struct Session {
     chunk: usize,
+    shards: usize,
     next_chunk_seq: u64,
     buf: Vec<(u8, CollectedDoc)>,
+    shared: Arc<Shared>,
     work: Arc<Queue<WorkChunk>>,
     staged: Arc<Queue<StagedChunk>>,
     shard_queues: Vec<Arc<Queue<DoxJob>>>,
     verdicts: Arc<Queue<Verdict>>,
     stage_workers: Vec<JoinHandle<()>>,
-    router: Option<JoinHandle<(PipelineCounters, BTreeSet<u64>)>>,
+    router: Option<JoinHandle<()>>,
     shard_workers: Vec<JoinHandle<()>>,
-    committer: Option<JoinHandle<(Vec<DetectedDox>, PipelineCounters)>>,
+    committer: Option<JoinHandle<()>>,
     queue_depth: Gauge,
     stalls: Counter,
     stall_ns: Histogram,
@@ -113,6 +218,7 @@ impl Session {
         config: &EngineConfig,
         classifier: Arc<dyn DoxDetector>,
         registry: &Registry,
+        restore: Option<SessionCheckpoint>,
     ) -> Self {
         let work: Arc<Queue<WorkChunk>> = Arc::new(Queue::bounded(config.queue_depth));
         let staged: Arc<Queue<StagedChunk>> = Arc::new(Queue::bounded(config.queue_depth));
@@ -122,14 +228,60 @@ impl Session {
         let verdicts: Arc<Queue<Verdict>> =
             Arc::new(Queue::bounded(config.queue_depth * config.chunk));
 
+        let next_chunk_seq = restore.as_ref().map_or(0, |cp| cp.next_chunk_seq);
+        let shared = Arc::new(match restore {
+            None => Shared {
+                router: Mutex::new(RouterState::default()),
+                committer: Mutex::new(CommitterState::default()),
+                dedups: (0..config.shards)
+                    .map(|_| Mutex::new(Deduplicator::new()))
+                    .collect(),
+                progress: Mutex::new(Progress::default()),
+                quiesced: Condvar::new(),
+            },
+            Some(cp) => Shared {
+                router: Mutex::new(RouterState {
+                    reorder: ReorderBuffer::with_next(cp.next_chunk_seq),
+                    counters: cp.router_counters,
+                    dox_ids: cp.dox_ids,
+                    dox_seq: cp.dox_seq,
+                    stage_gap_docs: cp.stage_gap_docs,
+                }),
+                committer: Mutex::new(CommitterState {
+                    reorder: ReorderBuffer::with_next(cp.dox_seq),
+                    counters: cp.committer_counters,
+                    detected: cp.detected,
+                }),
+                dedups: cp
+                    .dedups
+                    .into_iter()
+                    .map(|s| Mutex::new(Deduplicator::restore(s)))
+                    .collect(),
+                // A checkpoint is taken at quiescence: everything dispatched
+                // was routed and committed.
+                progress: Mutex::new(Progress {
+                    chunks_routed: cp.next_chunk_seq,
+                    doxes_routed: cp.dox_seq,
+                    doxes_committed: cp.dox_seq,
+                }),
+                quiesced: Condvar::new(),
+            },
+        });
+
         let stage_metrics = StageMetrics::resolve(registry);
         let collected = registry.counter("pipeline.funnel.collected");
         let classified_dox = registry.counter("pipeline.funnel.classified_dox");
         let duplicates = registry.counter("pipeline.funnel.duplicates");
         let unique = registry.counter("pipeline.funnel.unique");
+        let stage_gaps = registry.counter("engine.fault.stage_exhausted_docs");
         let dedup_ns = registry.histogram("pipeline.stage.dedup");
         registry.gauge("engine.workers").set(config.workers as i64);
         registry.gauge("engine.shards").set(config.shards as i64);
+
+        let fault_ctx: Option<(FaultPlan, u32)> = config
+            .faults
+            .as_ref()
+            .map(|f| (FaultPlan::new(f.plan.clone()), f.policy.max_retries));
 
         let stage_workers = (0..config.workers)
             .map(|_| {
@@ -137,14 +289,51 @@ impl Session {
                 let staged = Arc::clone(&staged);
                 let classifier = Arc::clone(&classifier);
                 let stage_metrics = stage_metrics.clone();
+                let fault_ctx = fault_ctx.clone();
+                let slow_chunks = registry.counter("engine.fault.slow_chunks");
+                let poisoned_chunks = registry.counter("engine.fault.poisoned_chunks");
+                let stage_retries = registry.counter("engine.fault.stage_retries");
+                let exhausted_docs = registry.counter("engine.fault.stage_exhausted_docs");
                 std::thread::spawn(move || {
                     while let Some(chunk) = work.pop() {
+                        let mut exhausted = false;
+                        if let Some((plan, max_retries)) = &fault_ctx {
+                            match plan.stage_directive(chunk.seq) {
+                                StageDirective::Healthy => {}
+                                StageDirective::Slow { yields } => {
+                                    slow_chunks.inc();
+                                    for _ in 0..yields {
+                                        std::thread::yield_now();
+                                    }
+                                }
+                                StageDirective::Poison { failures } => {
+                                    poisoned_chunks.inc();
+                                    if failures > *max_retries {
+                                        exhausted = true;
+                                        exhausted_docs.add(chunk.docs.len() as u64);
+                                    } else {
+                                        // A retrying supervisor re-runs the
+                                        // pure stage; only the attempt count
+                                        // is observable.
+                                        stage_retries.add(u64::from(failures));
+                                    }
+                                }
+                            }
+                        }
                         let mut timings = StageLocal::default();
                         let items = chunk
                             .docs
                             .into_iter()
                             .map(|(period, doc)| {
-                                let outcome = classify_and_extract(&classifier, &doc, &mut timings);
+                                let outcome = if exhausted {
+                                    StageOutcome::Failed
+                                } else {
+                                    StageOutcome::Done(classify_and_extract(
+                                        &classifier,
+                                        &doc,
+                                        &mut timings,
+                                    ))
+                                };
                                 (period, doc, outcome)
                             })
                             .collect();
@@ -165,61 +354,90 @@ impl Session {
 
         let router = {
             let staged = Arc::clone(&staged);
+            let shared = Arc::clone(&shared);
             let shard_queues = shard_queues.clone();
             let shards = config.shards;
             let shard_docs: Vec<Counter> = (0..shards)
                 .map(|i| registry.counter(&format!("engine.shard.{i}.docs")))
                 .collect();
+            let collected = collected.clone();
+            let classified_dox = classified_dox.clone();
+            let stage_gaps = stage_gaps.clone();
             std::thread::spawn(move || {
-                let mut reorder = ReorderBuffer::new();
-                let mut counters = PipelineCounters::default();
-                let mut dox_ids = BTreeSet::new();
-                let mut dox_seq = 0u64;
                 'drain: while let Some(chunk) = staged.pop() {
-                    reorder.push(chunk.seq, chunk.items);
-                    while let Some(items) = reorder.pop_ready() {
-                        for (period, doc, outcome) in items {
-                            let CollectedDoc { doc, collected_at } = doc;
-                            let slot = usize::from(period - 1);
-                            counters.total += 1;
-                            counters.per_period[slot] += 1;
-                            *counters
-                                .per_source
-                                .entry(doc.source.name().to_string())
-                                .or_insert(0) += 1;
-                            collected.inc();
-                            let Some((text, extracted)) = outcome else {
-                                continue;
-                            };
-                            counters.classified_dox += 1;
-                            counters.dox_per_period[slot] += 1;
-                            classified_dox.inc();
-                            dox_ids.insert(doc.id);
-                            let shard = shard_of(shard_signature(&text, &extracted), shards);
-                            shard_docs[shard].inc();
-                            let truth = match doc.truth {
-                                GroundTruth::Dox(t) => Some(t),
-                                GroundTruth::Paste { .. } => None,
-                            };
-                            let job = DoxJob {
-                                dox_seq,
-                                period,
-                                doc_id: doc.id,
-                                source: doc.source,
-                                posted_at: doc.posted_at,
-                                observed_at: collected_at,
-                                text,
-                                extracted,
-                                truth,
-                            };
-                            dox_seq += 1;
-                            if shard_queues[shard].push(job).is_err() {
-                                break 'drain;
+                    // Commit under the router lock, collect the routable
+                    // jobs, then release before the (blocking) queue pushes.
+                    let mut jobs: Vec<(usize, DoxJob)> = Vec::new();
+                    let mut chunks_ready = 0u64;
+                    {
+                        let mut state = lock(&shared.router);
+                        state.reorder.push(chunk.seq, chunk.items);
+                        while let Some(items) = state.reorder.pop_ready() {
+                            chunks_ready += 1;
+                            for (period, doc, outcome) in items {
+                                let CollectedDoc { doc, collected_at } = doc;
+                                let slot = usize::from(period - 1);
+                                state.counters.total += 1;
+                                state.counters.per_period[slot] += 1;
+                                *state
+                                    .counters
+                                    .per_source
+                                    .entry(doc.source.name().to_string())
+                                    .or_insert(0) += 1;
+                                collected.inc();
+                                let staged_doc = match outcome {
+                                    StageOutcome::Done(staged_doc) => staged_doc,
+                                    StageOutcome::Failed => {
+                                        state.stage_gap_docs += 1;
+                                        stage_gaps.inc();
+                                        continue;
+                                    }
+                                };
+                                let Some((text, extracted)) = staged_doc else {
+                                    continue;
+                                };
+                                state.counters.classified_dox += 1;
+                                state.counters.dox_per_period[slot] += 1;
+                                classified_dox.inc();
+                                state.dox_ids.insert(doc.id);
+                                let shard = shard_of(shard_signature(&text, &extracted), shards);
+                                let truth = match doc.truth {
+                                    GroundTruth::Dox(t) => Some(t),
+                                    GroundTruth::Paste { .. } => None,
+                                };
+                                let job = DoxJob {
+                                    dox_seq: state.dox_seq,
+                                    period,
+                                    doc_id: doc.id,
+                                    source: doc.source,
+                                    posted_at: doc.posted_at,
+                                    observed_at: collected_at,
+                                    text,
+                                    extracted,
+                                    truth,
+                                };
+                                state.dox_seq += 1;
+                                jobs.push((shard, job));
                             }
                         }
                     }
+                    let routed = jobs.len() as u64;
+                    for (shard, job) in jobs {
+                        shard_docs[shard].inc();
+                        if shard_queues[shard].push(job).is_err() {
+                            break 'drain;
+                        }
+                    }
+                    // One progress update per staged chunk, *after* the
+                    // pushes: a checkpoint observing `chunks_routed` caught
+                    // up is guaranteed every routed job already sits in a
+                    // shard queue, so `doxes_committed == doxes_routed`
+                    // really means the pipe is empty.
+                    let mut progress = lock(&shared.progress);
+                    progress.chunks_routed += chunks_ready;
+                    progress.doxes_routed += routed;
+                    shared.quiesced.notify_all();
                 }
-                (counters, dox_ids)
             })
         };
 
@@ -229,14 +447,15 @@ impl Session {
             .map(|(i, q)| {
                 let q = Arc::clone(q);
                 let verdicts = Arc::clone(&verdicts);
+                let shared = Arc::clone(&shared);
                 let dedup_ns = dedup_ns.clone();
                 let shard_ns = registry.histogram(&format!("engine.shard.{i}.dedup_ns"));
                 std::thread::spawn(move || {
-                    let mut dedup = Deduplicator::new();
                     while let Some(job) = q.pop() {
                         // dox-lint:allow(determinism) per-shard dedup latency histogram; never enters the report
                         let start = Instant::now();
-                        let duplicate = dedup.check(job.doc_id, &job.text, &job.extracted);
+                        let duplicate =
+                            lock(&shared.dedups[i]).check(job.doc_id, &job.text, &job.extracted);
                         let elapsed = start.elapsed();
                         dedup_ns.observe_duration(elapsed);
                         shard_ns.observe_duration(elapsed);
@@ -250,48 +469,60 @@ impl Session {
 
         let committer = {
             let verdicts = Arc::clone(&verdicts);
+            let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
-                let mut reorder = ReorderBuffer::new();
-                let mut counters = PipelineCounters::default();
-                let mut detected = Vec::new();
                 while let Some(verdict) = verdicts.pop() {
-                    reorder.push(verdict.job.dox_seq, verdict);
-                    while let Some(Verdict { job, duplicate }) = reorder.pop_ready() {
-                        match duplicate {
-                            Some((kind, _)) => {
-                                counters.duplicates_per_period[usize::from(job.period - 1)] += 1;
-                                duplicates.inc();
-                                match kind {
-                                    DuplicateKind::ExactBody => counters.exact_duplicates += 1,
-                                    DuplicateKind::AccountSet => {
-                                        counters.account_set_duplicates += 1
+                    let mut committed = 0u64;
+                    {
+                        let mut state = lock(&shared.committer);
+                        state.reorder.push(verdict.job.dox_seq, verdict);
+                        while let Some(Verdict { job, duplicate }) = state.reorder.pop_ready() {
+                            committed += 1;
+                            match duplicate {
+                                Some((kind, _)) => {
+                                    state.counters.duplicates_per_period
+                                        [usize::from(job.period - 1)] += 1;
+                                    duplicates.inc();
+                                    match kind {
+                                        DuplicateKind::ExactBody => {
+                                            state.counters.exact_duplicates += 1
+                                        }
+                                        DuplicateKind::AccountSet => {
+                                            state.counters.account_set_duplicates += 1
+                                        }
+                                        DuplicateKind::Fuzzy => {}
                                     }
-                                    DuplicateKind::Fuzzy => {}
                                 }
+                                None => unique.inc(),
                             }
-                            None => unique.inc(),
+                            state.detected.push(DetectedDox {
+                                doc_id: job.doc_id,
+                                source: job.source,
+                                period: job.period,
+                                posted_at: job.posted_at,
+                                observed_at: job.observed_at,
+                                text: job.text,
+                                extracted: job.extracted,
+                                duplicate,
+                                truth: job.truth,
+                            });
                         }
-                        detected.push(DetectedDox {
-                            doc_id: job.doc_id,
-                            source: job.source,
-                            period: job.period,
-                            posted_at: job.posted_at,
-                            observed_at: job.observed_at,
-                            text: job.text,
-                            extracted: job.extracted,
-                            duplicate,
-                            truth: job.truth,
-                        });
+                    }
+                    if committed > 0 {
+                        let mut progress = lock(&shared.progress);
+                        progress.doxes_committed += committed;
+                        shared.quiesced.notify_all();
                     }
                 }
-                (detected, counters)
             })
         };
 
         Self {
             chunk: config.chunk,
-            next_chunk_seq: 0,
+            shards: config.shards,
+            next_chunk_seq,
             buf: Vec::with_capacity(config.chunk),
+            shared,
             work,
             staged,
             shard_queues,
@@ -340,6 +571,72 @@ impl Session {
         }
     }
 
+    /// True when some engine thread has exited while the session is still
+    /// open — it can never quiesce.
+    fn any_thread_dead(&self) -> bool {
+        self.stage_workers.iter().any(JoinHandle::is_finished)
+            || self.router.as_ref().is_some_and(JoinHandle::is_finished)
+            || self.shard_workers.iter().any(JoinHandle::is_finished)
+            || self.committer.as_ref().is_some_and(JoinHandle::is_finished)
+    }
+
+    /// Capture a resumable snapshot of the session without closing it.
+    ///
+    /// Flushes the buffered partial chunk (chunk boundaries never affect
+    /// results), waits for the pipeline to quiesce, then snapshots every
+    /// stateful stage. Feed the snapshot to
+    /// [`Engine::resume_session`](crate::Engine::resume_session) to
+    /// continue the stream in a later process; replaying the remaining
+    /// documents yields output byte-identical to the uninterrupted run.
+    pub fn checkpoint(&mut self) -> Result<SessionCheckpoint, EngineError> {
+        self.dispatch()?;
+        let target_chunks = self.next_chunk_seq;
+        // dox-lint:allow(determinism) wall-clock deadline guards liveness of the wait only; it never shapes results
+        let deadline = Instant::now() + QUIESCE_TIMEOUT;
+        {
+            let mut progress = lock(&self.shared.progress);
+            loop {
+                if progress.chunks_routed == target_chunks
+                    && progress.doxes_committed == progress.doxes_routed
+                {
+                    break;
+                }
+                if self.any_thread_dead() {
+                    return Err(EngineError::Disconnected);
+                }
+                // dox-lint:allow(determinism) liveness deadline, see above
+                if Instant::now() >= deadline {
+                    return Err(EngineError::CheckpointStalled);
+                }
+                let (guard, _) = self
+                    .shared
+                    .quiesced
+                    .wait_timeout(progress, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                progress = guard;
+            }
+        }
+        let router = lock(&self.shared.router);
+        let committer = lock(&self.shared.committer);
+        Ok(SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            shards: self.shards,
+            next_chunk_seq: target_chunks,
+            dox_seq: router.dox_seq,
+            router_counters: router.counters.clone(),
+            dox_ids: router.dox_ids.clone(),
+            stage_gap_docs: router.stage_gap_docs,
+            committer_counters: committer.counters.clone(),
+            detected: committer.detected.clone(),
+            dedups: self
+                .shared
+                .dedups
+                .iter()
+                .map(|d| lock(d).snapshot())
+                .collect(),
+        })
+    }
+
     /// Close the stream and wait for every stage to drain, returning the
     /// combined output. The result is byte-identical to a sequential pass
     /// over the same documents in the same order.
@@ -347,38 +644,32 @@ impl Session {
         self.dispatch()?;
         self.work.close();
         for worker in self.stage_workers.drain(..) {
-            worker
-                .join()
-                .map_err(|_| EngineError::StageFailed("stage worker"))?;
+            worker.join().map_err(stage_failed("stage worker"))?;
         }
         self.staged.close();
-        let (mut counters, dox_ids) = self
-            .router
-            .take()
-            .ok_or(EngineError::StageFailed("router"))?
-            .join()
-            .map_err(|_| EngineError::StageFailed("router"))?;
+        if let Some(router) = self.router.take() {
+            router.join().map_err(stage_failed("router"))?;
+        }
         for q in &self.shard_queues {
             q.close();
         }
         for worker in self.shard_workers.drain(..) {
-            worker
-                .join()
-                .map_err(|_| EngineError::StageFailed("dedup shard"))?;
+            worker.join().map_err(stage_failed("dedup shard"))?;
         }
         self.verdicts.close();
-        let (detected, dedup_counters) = self
-            .committer
-            .take()
-            .ok_or(EngineError::StageFailed("committer"))?
-            .join()
-            .map_err(|_| EngineError::StageFailed("committer"))?;
-        counters.absorb(&dedup_counters);
+        if let Some(committer) = self.committer.take() {
+            committer.join().map_err(stage_failed("committer"))?;
+        }
+        let router = std::mem::take(&mut *lock(&self.shared.router));
+        let committer = std::mem::take(&mut *lock(&self.shared.committer));
+        let mut counters = router.counters;
+        counters.absorb(&committer.counters);
         self.queue_depth.set(0);
         Ok(PipelineOutput {
-            detected,
+            detected: committer.detected,
             counters,
-            dox_ids,
+            dox_ids: router.dox_ids,
+            stage_gap_docs: router.stage_gap_docs,
         })
     }
 }
@@ -400,7 +691,8 @@ impl Drop for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Engine;
+    use crate::{Engine, EngineFaults};
+    use dox_fault::{FaultPlanConfig, RetryPolicy};
     use dox_synth::corpus::SynthDoc;
     use dox_synth::truth::PasteKind;
 
@@ -508,6 +800,7 @@ mod tests {
     fn assert_same(a: &PipelineOutput, b: &PipelineOutput) {
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.dox_ids, b.dox_ids);
+        assert_eq!(a.stage_gap_docs, b.stage_gap_docs);
         assert_eq!(a.detected.len(), b.detected.len());
         for (x, y) in a.detected.iter().zip(&b.detected) {
             assert_eq!(x.doc_id, y.doc_id);
@@ -575,5 +868,157 @@ mod tests {
         let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
         session.ingest(1, doc(1, "a dox fb: someone")).unwrap();
         drop(session);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_to_uninterrupted() {
+        let reference = sequential(&corpus());
+        for (workers, shards) in [(1usize, 1usize), (4, 8)] {
+            let build = || {
+                Engine::builder()
+                    .workers(workers)
+                    .shards(shards)
+                    .queue_depth(2)
+                    .chunk(16)
+                    .build()
+                    .expect("valid config")
+            };
+            let registry = Registry::new();
+            let mut first = build().session_with_registry(Arc::new(KeywordDetector), &registry);
+            let docs = corpus();
+            let cut = 97; // mid-chunk on purpose
+            for (period, doc) in &docs[..cut] {
+                first.ingest(*period, doc.clone()).expect("valid");
+            }
+            let snapshot = first.checkpoint().expect("quiesces");
+            // Serialize/parse to prove the on-disk form carries everything.
+            let json = serde_json::to_string(&snapshot).expect("serializes");
+            drop(first); // the "crash"
+            let parsed = serde_json::from_str(&json).expect("parses");
+            let registry = Registry::new();
+            let mut resumed = build()
+                .resume_session_with_registry(Arc::new(KeywordDetector), &registry, parsed)
+                .expect("shard counts match");
+            for (period, doc) in &docs[cut..] {
+                resumed.ingest(*period, doc.clone()).expect("valid");
+            }
+            let out = resumed.finish().expect("drains");
+            assert_same(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_continue_in_place_is_also_identical() {
+        // A checkpoint must be a pure observation: taking one and carrying
+        // on in the same session must not perturb the output.
+        let reference = sequential(&corpus());
+        let engine = Engine::builder()
+            .workers(3)
+            .shards(4)
+            .chunk(16)
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        for (i, (period, doc)) in corpus().into_iter().enumerate() {
+            session.ingest(period, doc).unwrap();
+            if i % 64 == 63 {
+                session.checkpoint().expect("quiesces");
+            }
+        }
+        let out = session.finish().unwrap();
+        assert_same(&out, &reference);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_shard_count() {
+        let engine = Engine::builder()
+            .workers(1)
+            .shards(2)
+            .chunk(8)
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        session.ingest(1, doc(1, "a dox fb: someone")).unwrap();
+        let snapshot = session.checkpoint().expect("quiesces");
+        drop(session);
+        let other = Engine::builder()
+            .workers(1)
+            .shards(3)
+            .chunk(8)
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        assert_eq!(
+            other
+                .resume_session_with_registry(Arc::new(KeywordDetector), &registry, snapshot)
+                .err(),
+            Some(EngineError::CheckpointShardMismatch {
+                expected: 3,
+                found: 2
+            })
+        );
+    }
+
+    fn run_engine_with_faults(
+        workers: usize,
+        shards: usize,
+        plan: FaultPlanConfig,
+        policy: RetryPolicy,
+    ) -> PipelineOutput {
+        let engine = Engine::builder()
+            .workers(workers)
+            .shards(shards)
+            .queue_depth(2)
+            .chunk(16)
+            .faults(EngineFaults { plan, policy })
+            .build()
+            .expect("valid config");
+        let registry = Registry::new();
+        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        for (period, doc) in corpus() {
+            session.ingest(period, doc).expect("valid");
+        }
+        session.finish().expect("drains")
+    }
+
+    #[test]
+    fn recovered_stage_faults_leave_output_untouched() {
+        // Slow chunks and sub-budget poison are pure scheduling weather.
+        let reference = sequential(&corpus());
+        let plan = FaultPlanConfig {
+            slow_chunk_ppm: 400_000,
+            poison_chunk_ppm: 300_000,
+            max_transient_failures: 2,
+            ..FaultPlanConfig::default()
+        };
+        for (workers, shards) in [(1usize, 1usize), (4, 8)] {
+            let out = run_engine_with_faults(workers, shards, plan.clone(), RetryPolicy::default());
+            assert_same(&out, &reference);
+            assert_eq!(out.stage_gap_docs, 0);
+        }
+    }
+
+    #[test]
+    fn exhausted_poison_becomes_explicit_stage_gaps() {
+        let plan = FaultPlanConfig {
+            poison_chunk_ppm: 500_000,
+            max_transient_failures: 3,
+            ..FaultPlanConfig::default()
+        };
+        // Zero retries: every poisoned chunk exhausts.
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        let out = run_engine_with_faults(2, 2, plan, policy);
+        assert!(out.stage_gap_docs > 0, "poison must surface as gaps");
+        let reference = sequential(&corpus());
+        assert_eq!(
+            out.counters.total, reference.counters.total,
+            "failed docs still count as collected"
+        );
+        assert!(out.counters.classified_dox < reference.counters.classified_dox);
     }
 }

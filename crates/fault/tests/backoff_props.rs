@@ -1,0 +1,88 @@
+//! Property tests for the backoff schedule. `Backoff::delay` documents
+//! three guarantees — monotone in the attempt number, bounded by the cap,
+//! and byte-reproducible for a fixed seed — and each is held to account
+//! here over arbitrary configurations, including degenerate ones (zero
+//! base, cap below base, jitter above 100%).
+
+use dox_fault::{Backoff, RetryPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    /// The schedule never decreases: waiting longer is the only way the
+    /// ramp moves. This is the documented proof obligation — jitter is
+    /// clamped so `delay(n) ≤ 2·raw(n) = raw(n+1) ≤ delay(n+1)` below
+    /// the cap, and everything at the cap stays exactly there.
+    #[test]
+    fn delays_are_monotonically_non_decreasing(
+        base in 0u64..1_000_000,
+        cap in 0u64..10_000_000,
+        jitter_ppm in 0u32..2_000_000,
+        seed in any::<u64>(),
+    ) {
+        let b = Backoff { base, cap, jitter_ppm, seed };
+        let mut prev = 0u64;
+        for attempt in 0..70u32 {
+            let d = b.delay(attempt);
+            prop_assert!(d >= prev, "delay({attempt}) = {d} dips below {prev} for {b:?}");
+            prev = d;
+        }
+    }
+
+    /// No delay ever exceeds the (effective) cap, even with jitter at its
+    /// maximum and attempt numbers past the shift width — and every delay
+    /// is at least one tick, because a zero-tick retry loop would spin
+    /// the simulated clock in place.
+    #[test]
+    fn delays_stay_within_one_tick_and_the_cap(
+        base in 0u64..1_000_000,
+        cap in 0u64..10_000_000,
+        seed in any::<u64>(),
+        attempt in 0u32..200,
+    ) {
+        let b = Backoff { base, cap, jitter_ppm: 2_000_000, seed };
+        let effective_cap = cap.max(base.max(1));
+        let d = b.delay(attempt);
+        prop_assert!(d >= 1, "a zero delay would stall the virtual clock");
+        prop_assert!(d <= effective_cap, "delay {d} exceeds cap {effective_cap}");
+    }
+
+    /// A fixed `(config, attempt)` pair always draws the same delay — the
+    /// whole schedule is a pure function of the seed, which is what makes
+    /// faulty runs byte-reproducible.
+    #[test]
+    fn schedules_are_reproducible_for_a_fixed_seed(
+        base in 1u64..100_000,
+        cap in 1u64..10_000_000,
+        jitter_ppm in 0u32..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let b = Backoff { base, cap, jitter_ppm, seed };
+        let first: Vec<u64> = (0..32).map(|n| b.delay(n)).collect();
+        let again: Vec<u64> = (0..32).map(|n| b.delay(n)).collect();
+        prop_assert_eq!(&first, &again);
+        let copy = b;
+        let copied: Vec<u64> = (0..32).map(|n| copy.delay(n)).collect();
+        prop_assert_eq!(&first, &copied);
+    }
+
+    /// The total virtual time a policy can spend retrying is bounded by
+    /// `max_retries · effective_cap` ticks — recovery never wanders off
+    /// the end of the simulated clock.
+    #[test]
+    fn total_retry_time_is_bounded(
+        base in 0u64..1_000_000,
+        cap in 0u64..10_000_000,
+        seed in any::<u64>(),
+        max_retries in 0u32..12,
+    ) {
+        let policy = RetryPolicy {
+            max_retries,
+            backoff: Backoff { base, cap, jitter_ppm: 333_333, seed },
+        };
+        let effective_cap = cap.max(base.max(1));
+        let total: u128 = (0..policy.max_retries)
+            .map(|n| u128::from(policy.backoff.delay(n)))
+            .sum();
+        prop_assert!(total <= u128::from(effective_cap) * u128::from(max_retries));
+    }
+}

@@ -8,6 +8,10 @@
 //! Table 4 report.
 
 use crate::hub::SiteHub;
+use dox_fault::{
+    run_op, BreakerConfig, BreakerSet, CoverageGaps, FaultDomain, FaultPlan, FaultPlanConfig,
+    FaultStats, RetryPolicy,
+};
 use dox_osn::clock::{SimDuration, SimTime};
 use dox_synth::corpus::{CorpusGenerator, Source, SynthDoc};
 use serde::{Deserialize, Serialize};
@@ -45,12 +49,34 @@ impl CollectionStats {
     }
 }
 
+/// Fault machinery for a collector: the seeded plan, the retry policy,
+/// one circuit breaker per source, and the running tally of what the
+/// weather cost.
+struct CollectorFaults {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    breakers: BreakerSet,
+    stats: FaultStats,
+    gaps: CoverageGaps,
+}
+
 /// The collection client: drives the generator, feeds the hub, emits
 /// [`CollectedDoc`]s to a sink.
+///
+/// A collector built with [`Collector::with_faults`] simulates the
+/// unreliable fetch boundary the paper's crawlers faced: each document
+/// fetch runs through a seeded [`FaultPlan`] with retry/backoff and a
+/// per-source circuit breaker, all in virtual time. Recovered fetches
+/// deliver the document unchanged (same `collected_at`, so downstream
+/// output stays byte-identical); exhausted fetches surface in
+/// [`Collector::coverage_gaps`] — never as silent drops. The hub ingests
+/// every generated document either way: the *site* saw the post, only the
+/// collector missed it.
 pub struct Collector {
     hub: SiteHub,
     stats_p1: CollectionStats,
     stats_p2: CollectionStats,
+    faults: Option<CollectorFaults>,
     /// Scrape latency added to each document's posting time.
     pub scrape_latency: SimDuration,
 }
@@ -62,8 +88,27 @@ impl Collector {
             hub: SiteHub::new(seed),
             stats_p1: CollectionStats::default(),
             stats_p2: CollectionStats::default(),
+            faults: None,
             scrape_latency: SimDuration(5),
         }
+    }
+
+    /// Create a collector whose fetches run through a fault plan.
+    pub fn with_faults(
+        seed: u64,
+        plan: FaultPlanConfig,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> Self {
+        let mut collector = Self::new(seed);
+        collector.faults = Some(CollectorFaults {
+            plan: FaultPlan::new(plan),
+            policy,
+            breakers: BreakerSet::new(breaker),
+            stats: FaultStats::default(),
+            gaps: CoverageGaps::default(),
+        });
+        collector
     }
 
     /// Collect one period end-to-end: generate, ingest into the sites,
@@ -90,10 +135,30 @@ impl Collector {
             &mut self.stats_p2
         };
         let latency = self.scrape_latency;
+        let faults = &mut self.faults;
         gen.generate_period(which, &mut |doc| {
             hub.ingest(&doc);
-            stats.bump(doc.source);
             let collected_at = doc.posted_at + latency;
+            if let Some(f) = faults.as_mut() {
+                let source = doc.source.name();
+                let fetched = run_op(
+                    &f.plan,
+                    &f.policy,
+                    Some(f.breakers.breaker(source)),
+                    &mut f.stats,
+                    FaultDomain::Collect,
+                    source,
+                    doc.id,
+                    collected_at.0,
+                );
+                if fetched.is_err() {
+                    // The site has the post; the collector missed it. Count
+                    // the gap and move on — the document is not delivered.
+                    f.gaps.record_missed_collection(source);
+                    return ControlFlow::Continue(());
+                }
+            }
+            stats.bump(doc.source);
             sink(CollectedDoc { doc, collected_at })
         })
     }
@@ -110,6 +175,35 @@ impl Collector {
     /// The underlying sites (deletion surveys, board inspection).
     pub fn hub(&self) -> &SiteHub {
         &self.hub
+    }
+
+    /// Retry/fault accounting, with the breaker transition totals folded
+    /// in. All zeros for a fault-free collector.
+    pub fn fault_stats(&self) -> FaultStats {
+        let Some(f) = &self.faults else {
+            return FaultStats::default();
+        };
+        let mut stats = f.stats;
+        let transitions = f.breakers.total_transitions();
+        stats.breaker_opens = transitions.opened;
+        stats.breaker_half_opens = transitions.half_opened;
+        stats.breaker_closes = transitions.closed;
+        stats
+    }
+
+    /// Documents the collector failed to fetch, per source. Empty for a
+    /// fault-free collector and for any plan whose faults all recovered.
+    pub fn coverage_gaps(&self) -> CoverageGaps {
+        self.faults
+            .as_ref()
+            .map(|f| f.gaps.clone())
+            .unwrap_or_default()
+    }
+
+    /// The per-source circuit breakers, target-ordered; `None` for a
+    /// fault-free collector.
+    pub fn breakers(&self) -> Option<&BreakerSet> {
+        self.faults.as_ref().map(|f| &f.breakers)
     }
 }
 
@@ -186,6 +280,74 @@ mod tests {
             3,
             "counted exactly what reached the sink"
         );
+    }
+
+    fn collect_all(collector: &mut Collector, config: SynthConfig) -> Vec<CollectedDoc> {
+        let (world, alloc, _) = setup();
+        let mut gen = CorpusGenerator::new(&world, &alloc, config);
+        let mut docs = Vec::new();
+        for which in [1, 2] {
+            let _ = collector.collect_period(&mut gen, which, &mut |c| {
+                docs.push(c);
+                ControlFlow::Continue(())
+            });
+        }
+        docs
+    }
+
+    #[test]
+    fn recovered_faults_deliver_an_identical_stream() {
+        let (_, _, config) = setup();
+        let mut clean = Collector::new(9);
+        let baseline = collect_all(&mut clean, config.clone());
+
+        // Heavy transient weather, but every fault recovers within the
+        // default retry budget.
+        let plan = FaultPlanConfig {
+            transient_ppm: 300_000,
+            max_transient_failures: 2,
+            ..FaultPlanConfig::default()
+        };
+        let mut faulty = Collector::with_faults(
+            9,
+            plan,
+            RetryPolicy::default(),
+            dox_fault::BreakerConfig::default(),
+        );
+        let recovered = collect_all(&mut faulty, config);
+        assert_eq!(recovered, baseline, "recovery must not change the stream");
+        assert!(faulty.fault_stats().retries > 0, "weather actually blew");
+        assert!(faulty.coverage_gaps().is_empty());
+    }
+
+    #[test]
+    fn exhausted_fetches_become_coverage_gaps_not_silent_drops() {
+        let (_, _, config) = setup();
+        let total = config.total_documents();
+        let plan = FaultPlanConfig {
+            hard_ppm: 100_000, // ~10% of fetches permanently fail
+            ..FaultPlanConfig::default()
+        };
+        let mut collector = Collector::with_faults(
+            9,
+            plan,
+            RetryPolicy::default(),
+            dox_fault::BreakerConfig::default(),
+        );
+        let delivered = collect_all(&mut collector, config).len() as u64;
+        let gaps = collector.coverage_gaps();
+        assert!(gaps.missed_collection_total() > 0, "hard faults must bite");
+        assert_eq!(
+            delivered + gaps.missed_collection_total(),
+            total,
+            "every generated document is either delivered or an explicit gap"
+        );
+        assert_eq!(
+            collector.hub().total_ingested() as u64,
+            total,
+            "the sites saw every post even when the collector missed it"
+        );
+        assert!(collector.fault_stats().exhausted > 0);
     }
 
     #[test]

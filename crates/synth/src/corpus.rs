@@ -39,6 +39,21 @@ pub enum Source {
     Chan8Baphomet,
 }
 
+// The vendored serde cannot derive `Deserialize`; unit variants
+// round-trip as their variant-name strings.
+impl serde::Deserialize for Source {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        match value.as_str()? {
+            "Pastebin" => Some(Source::Pastebin),
+            "Chan4B" => Some(Source::Chan4B),
+            "Chan4Pol" => Some(Source::Chan4Pol),
+            "Chan8Pol" => Some(Source::Chan8Pol),
+            "Chan8Baphomet" => Some(Source::Chan8Baphomet),
+            _ => None,
+        }
+    }
+}
+
 impl Source {
     /// All sources, Figure 1 order.
     pub const ALL: [Source; 5] = [

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Chaos smoke test: SIGKILL the reproduction harness mid-ingest, resume
+# from its checkpoint, and verify the resumed run's JSON report is
+# byte-identical to an uninterrupted fault-free run.
+#
+# This exercises the real recovery path end to end — a separate process,
+# a real `kill -9` (no atexit handlers, no Drop), checkpoint files on
+# disk, and the `--resume` flag — rather than the in-process simulation
+# the fault-matrix tests use.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE=0.02
+SEED=99
+REPRO=target/release/repro
+
+scratch=$(mktemp -d "${TMPDIR:-/tmp}/dox_chaos_smoke.XXXXXX")
+trap 'rm -rf "$scratch"' EXIT
+
+step() { printf '\n-- %s --\n' "$*"; }
+
+step "building the release harness"
+cargo build -q --release -p dox-bench --bin repro
+
+# A stormy but fully recoverable plan: transient fetch timeouts, 429s and
+# slow engine chunks, all within the retry budget. Recovered faults must
+# not change a byte, so the fault-free run below stays the baseline.
+cat > "$scratch/plan.json" <<'EOF'
+{"seed": 3, "transient_ppm": 80000, "slow_chunk_ppm": 50000}
+EOF
+
+step "baseline: uninterrupted fault-free run"
+"$REPRO" --scale "$SCALE" --seed "$SEED" --quiet --table t1 \
+    --json "$scratch/clean.json" > /dev/null
+
+step "victim: faulty run with checkpoints, killed with SIGKILL mid-ingest"
+"$REPRO" --scale "$SCALE" --seed "$SEED" --quiet --table t1 \
+    --fault-plan "$scratch/plan.json" \
+    --checkpoint-dir "$scratch/ckpt" --checkpoint-every 200 \
+    --json "$scratch/killed.json" > /dev/null 2>&1 &
+victim=$!
+
+# Kill as soon as the first checkpoint lands on disk — mid-ingest, with
+# dedup shards half-populated and reorder buffers mid-stream.
+for _ in $(seq 1 600); do
+    [ -f "$scratch/ckpt/study_checkpoint.json" ] && break
+    kill -0 "$victim" 2> /dev/null || break
+    sleep 0.05
+done
+if kill -9 "$victim" 2> /dev/null; then
+    echo "killed pid $victim after the first checkpoint"
+else
+    echo "note: victim finished before the kill landed (still a valid resume test)"
+fi
+wait "$victim" 2> /dev/null || true
+
+if [ ! -f "$scratch/ckpt/study_checkpoint.json" ]; then
+    echo "FAIL: no checkpoint was written before the kill" >&2
+    exit 1
+fi
+
+step "resume: continue from the on-disk checkpoint"
+"$REPRO" --scale "$SCALE" --seed "$SEED" --quiet --table t1 \
+    --fault-plan "$scratch/plan.json" \
+    --checkpoint-dir "$scratch/ckpt" --resume \
+    --json "$scratch/resumed.json" > /dev/null
+
+step "verify: resumed report is byte-identical to the baseline"
+if cmp -s "$scratch/clean.json" "$scratch/resumed.json"; then
+    echo "identical: $(wc -c < "$scratch/clean.json") bytes"
+else
+    echo "FAIL: resumed report differs from the uninterrupted baseline" >&2
+    cmp "$scratch/clean.json" "$scratch/resumed.json" || true
+    exit 1
+fi
+
+printf '\nChaos smoke test passed.\n'

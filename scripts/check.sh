@@ -36,10 +36,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 step "cargo build --release"
 cargo build --release
 
-step "cargo test -q (tier-1)"
+step "cargo test -q (tier-1, includes the fault matrix)"
 cargo test -q
 
 step "cargo test --workspace -q"
 cargo test --workspace -q
+
+step "chaos smoke test (SIGKILL mid-ingest, resume, byte-compare)"
+scripts/chaos_smoke.sh
 
 printf '\nAll checks passed.\n'

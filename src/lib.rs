@@ -32,6 +32,7 @@
 pub use dox_core as core;
 pub use dox_engine as engine;
 pub use dox_extract as extract;
+pub use dox_fault as fault;
 pub use dox_geo as geo;
 pub use dox_ml as ml;
 pub use dox_obs as obs;

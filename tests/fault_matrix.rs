@@ -1,0 +1,166 @@
+//! Fault matrix: the study's determinism contract must survive adverse
+//! weather. For every topology in workers {1, 4} × shards {1, 8}:
+//!
+//! * a run under a fault plan whose every fault recovers (transient
+//!   timeouts, 429s, a source outage, slow and briefly-poisoned engine
+//!   workers) is **byte-identical** to the fault-free run;
+//! * a run killed mid-ingest by the plan's kill switch and resumed from
+//!   its checkpoint re-emits the exact bytes of the uninterrupted run;
+//! * a plan with unrecoverable faults degrades **loudly**: the report
+//!   differs, and every missing document is accounted for in
+//!   `report.coverage` — never silently dropped.
+
+use doxing_repro::core::report::to_json;
+use doxing_repro::core::study::{StudyConfig, StudyConfigBuilder};
+use doxing_repro::core::{Error, Study};
+use doxing_repro::engine::EngineConfig;
+use doxing_repro::fault::{FaultDomain, FaultPlanConfig, OutageWindow};
+use doxing_repro::obs::Registry;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+const SEED: u64 = 0xFA17;
+const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (1, 8), (4, 1), (4, 8)];
+
+fn base(workers: usize, shards: usize) -> StudyConfigBuilder {
+    StudyConfig::builder()
+        .scale(0.005)
+        .seed(SEED)
+        .engine(EngineConfig {
+            workers,
+            shards,
+            ..EngineConfig::default()
+        })
+}
+
+/// A stormy but fully survivable plan: every injected fault recovers
+/// within the retry budget, so it must not change a byte of the report.
+fn recoverable_plan() -> FaultPlanConfig {
+    FaultPlanConfig {
+        seed: 0xBAD_5EED,
+        transient_ppm: 120_000,
+        max_transient_failures: 2,
+        rate_limited_ppm: 250_000,
+        outages: vec![OutageWindow {
+            domain: FaultDomain::Collect,
+            target: "pastebin.com".into(),
+            from: 2_000,
+            until: 2_090,
+        }],
+        slow_chunk_ppm: 60_000,
+        poison_chunk_ppm: 40_000,
+        ..FaultPlanConfig::default()
+    }
+}
+
+/// The fault-free reference report, computed once per topology.
+fn clean_json(workers: usize, shards: usize) -> String {
+    static CACHE: OnceLock<Mutex<HashMap<(usize, usize), String>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(json) = cache.lock().unwrap().get(&(workers, shards)) {
+        return json.clone();
+    }
+    let r = Study::with_registry(base(workers, shards).build(), Registry::new())
+        .run()
+        .expect("fault-free study runs");
+    let json = to_json(&r).expect("report serializes");
+    assert_eq!(
+        r.coverage.total(),
+        0,
+        "a fault-free run must report zero coverage gaps"
+    );
+    cache
+        .lock()
+        .unwrap()
+        .insert((workers, shards), json.clone());
+    json
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dox_fault_matrix_{}_{tag}", std::process::id()))
+}
+
+#[test]
+fn recovered_faults_are_byte_identical_across_the_matrix() {
+    for (workers, shards) in TOPOLOGIES {
+        let cfg = base(workers, shards).faults(recoverable_plan()).build();
+        let r = Study::with_registry(cfg, Registry::new())
+            .run()
+            .expect("stormy study runs");
+        assert_eq!(
+            r.coverage.total(),
+            0,
+            "(workers={workers}, shards={shards}) recovered faults must \
+             leave no coverage gaps"
+        );
+        assert_eq!(
+            to_json(&r).expect("report serializes"),
+            clean_json(workers, shards),
+            "(workers={workers}, shards={shards}) a fully-recovered run \
+             must be byte-identical to the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_report_byte_for_byte() {
+    for (workers, shards) in [(1, 1), (4, 8)] {
+        let dir = scratch_dir(&format!("{workers}x{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let killed_plan = FaultPlanConfig {
+            kill_after_docs: Some(1_500),
+            ..recoverable_plan()
+        };
+        let killed_cfg = base(workers, shards)
+            .faults(killed_plan)
+            .checkpoint_dir(&dir)
+            .checkpoint_every(400)
+            .build();
+        match Study::with_registry(killed_cfg, Registry::new()).run() {
+            Err(Error::Halted { docs_ingested }) => assert_eq!(docs_ingested, 1_500),
+            other => panic!("expected the kill switch to halt the run, got {other:?}"),
+        }
+
+        let resumed_cfg = base(workers, shards)
+            .faults(recoverable_plan())
+            .checkpoint_dir(&dir)
+            .checkpoint_every(400)
+            .resume(true)
+            .build();
+        let resumed = Study::with_registry(resumed_cfg, Registry::new())
+            .run()
+            .expect("resumed study runs");
+        assert_eq!(
+            to_json(&resumed).expect("report serializes"),
+            clean_json(workers, shards),
+            "(workers={workers}, shards={shards}) kill + resume must \
+             re-emit the exact bytes of the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn exhausted_faults_degrade_loudly_not_silently() {
+    let (workers, shards) = (4, 8);
+    let hard_plan = FaultPlanConfig {
+        seed: 0xDEAD,
+        hard_ppm: 60_000,
+        ..FaultPlanConfig::default()
+    };
+    let cfg = base(workers, shards).faults(hard_plan).build();
+    let r = Study::with_registry(cfg, Registry::new())
+        .run()
+        .expect("degraded study still completes");
+    assert!(
+        r.coverage.total() > 0,
+        "hard faults must surface as explicit coverage gaps"
+    );
+    assert_ne!(
+        to_json(&r).expect("report serializes"),
+        clean_json(workers, shards),
+        "losing sources must visibly change the report"
+    );
+}
