@@ -14,6 +14,7 @@ use dox_core::pipeline::Pipeline;
 use dox_core::training::DoxClassifier;
 use dox_engine::{DoxDetector, Engine, EngineFaults};
 use dox_fault::{FaultPlanConfig, RetryPolicy};
+use dox_obs::{Registry, TraceConfig, Tracer};
 use dox_sites::collect::{CollectedDoc, Collector};
 use std::hint::black_box;
 use std::ops::ControlFlow;
@@ -22,10 +23,13 @@ use std::time::Instant;
 
 const SCALE: f64 = 0.01;
 const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (1, 8), (2, 8), (4, 8)];
+/// Topology used for the tracing-overhead and per-stage measurements.
+const TRACE_TOPOLOGY: (usize, usize) = (4, 8);
 
 struct EngineFixture {
     classifier: Arc<DoxClassifier>,
     docs: Vec<(u8, CollectedDoc)>,
+    seed: u64,
 }
 
 impl EngineFixture {
@@ -45,6 +49,7 @@ impl EngineFixture {
         Self {
             classifier: Arc::new(classifier),
             docs,
+            seed: fixture.seed,
         }
     }
 
@@ -86,6 +91,37 @@ impl EngineFixture {
             .count()
     }
 
+    /// The same ingest with a tracer armed: `sample_ppm = 0` measures the
+    /// disabled fast path (one relaxed atomic load per stage), anything
+    /// else the cost of actually recording hops for that share of docs.
+    fn run_engine_traced(&self, workers: usize, shards: usize, sample_ppm: u32) -> usize {
+        let engine = Engine::builder()
+            .workers(workers)
+            .shards(shards)
+            .build()
+            .expect("valid engine config");
+        let detector: Arc<dyn DoxDetector> = self.classifier.clone();
+        let tracer = if sample_ppm == 0 {
+            Tracer::disabled()
+        } else {
+            Tracer::new(TraceConfig {
+                seed: self.seed,
+                sample_ppm,
+                capacity: 4096,
+            })
+        };
+        let registry = Registry::new();
+        let mut session = engine.traced_session(detector, &registry, &tracer);
+        for (period, doc) in &self.docs {
+            session.ingest(*period, doc.clone()).expect("engine up");
+        }
+        session
+            .finish()
+            .expect("engine finishes")
+            .unique_doxes()
+            .count()
+    }
+
     fn run_reference(&self) -> usize {
         let mut pipeline = Pipeline::new((*self.classifier).clone());
         for (period, doc) in &self.docs {
@@ -106,10 +142,64 @@ impl EngineFixture {
         times.sort_by(|a, b| a.total_cmp(b));
         times[times.len() / 2]
     }
+
+    /// Fastest seconds per full-corpus pass over `samples` runs. The
+    /// trace-overhead gate compares against a pinned baseline, so it
+    /// wants the low-noise statistic, not the median.
+    fn time_min(&self, samples: usize, mut run: impl FnMut(&Self) -> usize) -> f64 {
+        (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(run(self));
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// One untimed instrumented pass: per-stage observation counts and
+/// docs/s derived from the `pipeline.stage.*` span histograms.
+fn per_stage_rows(fixture: &EngineFixture) -> String {
+    let (workers, shards) = TRACE_TOPOLOGY;
+    let engine = Engine::builder()
+        .workers(workers)
+        .shards(shards)
+        .build()
+        .expect("valid engine config");
+    let detector: Arc<dyn DoxDetector> = fixture.classifier.clone();
+    let registry = Registry::new();
+    let mut session = engine.session_with_registry(detector, &registry);
+    for (period, doc) in &fixture.docs {
+        session.ingest(*period, doc.clone()).expect("engine up");
+    }
+    let _ = session.finish().expect("engine finishes");
+    let snapshot = registry.snapshot();
+    let mut rows = Vec::new();
+    for (name, h) in &snapshot.spans {
+        let Some(stage) = name.strip_prefix("pipeline.stage.") else {
+            continue;
+        };
+        if h.count == 0 || h.sum == 0 {
+            continue;
+        }
+        rows.push(format!(
+            "    {{ \"stage\": \"{stage}\", \"count\": {}, \"total_ns\": {}, \
+             \"docs_per_sec\": {:.0} }}",
+            h.count,
+            h.sum,
+            h.count as f64 / (h.sum as f64 / 1e9)
+        ));
+    }
+    rows.join(",\n")
 }
 
 /// Record the medians where commit history can see them.
 fn write_json(fixture: &EngineFixture, samples: usize) {
+    let samples = std::env::var("DOX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(samples);
     let docs = fixture.docs.len();
     let reference = fixture.time_median(samples, EngineFixture::run_reference);
     let mut entries = Vec::new();
@@ -140,10 +230,28 @@ fn write_json(fixture: &EngineFixture, samples: usize) {
             tf / t
         ));
     }
+    // Tracing overhead at the reference topology: disabled must price out
+    // at zero (scripts/trace_overhead_gate.sh holds it within 2% of the
+    // pre-tracing baseline) and 1% sampling at low single digits. Timed
+    // with `time_min` — see its doc comment.
+    let (tw, ts) = TRACE_TOPOLOGY;
+    let plain = fixture.time_min(samples, |f| f.run_engine(tw, ts));
+    for (label, ppm) in [("trace-off", 0u32), ("trace-1pct", 10_000)] {
+        let t = fixture.time_min(samples, |f| f.run_engine_traced(tw, ts, ppm));
+        entries.push(format!(
+            "    {{ \"config\": \"engine w{tw} s{ts} {label}\", \"workers\": {tw}, \
+             \"shards\": {ts}, \"timer\": \"min\", \"seconds\": {t:.6}, \
+             \"docs_per_sec\": {:.0}, \"overhead_vs_plain\": {:.3} }}",
+            docs as f64 / t,
+            t / plain
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"engine_ingest\",\n  \"scale\": {SCALE},\n  \"documents\": {docs},\n  \
-         \"hardware_threads\": {},\n  \"samples\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"hardware_threads\": {},\n  \"samples\": {samples},\n  \"per_stage\": [\n{}\n  ],\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
+        per_stage_rows(fixture),
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -173,6 +281,11 @@ fn bench_engine(c: &mut Criterion) {
              disagrees with the reference pipeline"
         );
     }
+    assert_eq!(
+        fixture.run_engine_traced(TRACE_TOPOLOGY.0, TRACE_TOPOLOGY.1, 1_000_000),
+        expect,
+        "engine tracing every document disagrees with the reference pipeline"
+    );
 
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
@@ -193,6 +306,11 @@ fn bench_engine(c: &mut Criterion) {
                 b.iter(|| black_box(fixture.run_engine_healthy_plan(workers, shards)))
             },
         );
+    }
+    for (label, ppm) in [("off", 0u32), ("1pct", 10_000)] {
+        group.bench_with_input(BenchmarkId::new("ingest_traced", label), &ppm, |b, &ppm| {
+            b.iter(|| black_box(fixture.run_engine_traced(TRACE_TOPOLOGY.0, TRACE_TOPOLOGY.1, ppm)))
+        });
     }
     group.finish();
 

@@ -20,6 +20,11 @@
 //!   --checkpoint-dir <d>  persist resumable checkpoints into <d>
 //!   --checkpoint-every <n> checkpoint cadence in documents (default 10000)
 //!   --resume           resume from the checkpoint in --checkpoint-dir
+//!   --trace <path>     export sampled causal traces as JSONL (samples
+//!                      every document unless --trace-sample is given)
+//!   --trace-sample <ppm>  trace sampling rate, documents per million
+//!   --telemetry <addr> serve live metrics at http://<addr>/metrics and
+//!                      recent traces at /traces for the duration of the run
 //!   --quiet            suppress progress notes and the profile on stderr
 //! ```
 //!
@@ -27,7 +32,10 @@
 //! `--shards` combination — and `--reference` — produces byte-identical
 //! `--json` output. So does any fault plan whose faults all recover, and
 //! a kill/`--resume` pair: checkpoint-resumed runs re-emit the exact
-//! bytes of the uninterrupted run.
+//! bytes of the uninterrupted run. Tracing inherits the same contract:
+//! `--trace` output is byte-identical for a fixed `(scale, seed, ppm)` at
+//! any worker/shard count, because hop timestamps come from the simulated
+//! clock and sampling is a pure hash of `(seed, document id)`.
 //!
 //! A run halted by the fault plan's `kill_after_docs` switch exits with
 //! code 3 (distinct from ordinary failures) so harnesses can follow up
@@ -40,7 +48,7 @@
 use dox_core::report;
 use dox_core::study::{Study, StudyConfig};
 use dox_fault::FaultPlanConfig;
-use dox_obs::{Level, StageSpan};
+use dox_obs::{Level, StageSpan, Telemetry};
 use std::process::ExitCode;
 
 /// Exit code for a run stopped by the fault plan's kill switch — distinct
@@ -60,6 +68,9 @@ struct Args {
     checkpoint_dir: Option<String>,
     checkpoint_every: Option<u64>,
     resume: bool,
+    trace: Option<String>,
+    trace_sample: Option<u32>,
+    telemetry: Option<String>,
     quiet: bool,
 }
 
@@ -77,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
+        trace: None,
+        trace_sample: None,
+        telemetry: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -119,6 +133,14 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--resume" => args.resume = true,
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--trace-sample" => {
+                let v = it.next().ok_or("--trace-sample needs a value")?;
+                args.trace_sample = Some(v.parse().map_err(|_| format!("bad sample rate {v:?}"))?);
+            }
+            "--telemetry" => {
+                args.telemetry = Some(it.next().ok_or("--telemetry needs an address")?);
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 eprintln!("{}", HELP);
@@ -143,6 +165,9 @@ const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --checkpoint-dir <d>   persist resumable checkpoints into <d>
   --checkpoint-every <n> checkpoint cadence in documents (default 10000)
   --resume         resume from the checkpoint in --checkpoint-dir
+  --trace <path>   export sampled causal traces as JSONL
+  --trace-sample <ppm>   trace sampling rate per million (default: all)
+  --telemetry <addr>     serve GET /metrics and /traces on <addr>
   --quiet          no progress or profile output";
 
 fn main() -> ExitCode {
@@ -191,6 +216,11 @@ fn main() -> ExitCode {
         config.durability.checkpoint_every_docs = every;
     }
     config.durability.resume = args.resume;
+    if args.trace.is_some() || args.trace_sample.is_some() {
+        // `--trace` alone samples everything; `--trace-sample` alone still
+        // records (for `--telemetry`'s /traces) without an export file.
+        config.trace_sample_ppm = args.trace_sample.unwrap_or(dox_obs::SAMPLE_ALL);
+    }
     dox_obs::emit!(
         Level::Info,
         "repro",
@@ -202,6 +232,29 @@ fn main() -> ExitCode {
     );
     let start = std::time::Instant::now();
     let study = Study::new(config);
+    // Live telemetry rides alongside the run; the handle's Drop stops the
+    // server, so a failed study still releases the port.
+    let _telemetry = match &args.telemetry {
+        Some(addr) => {
+            match Telemetry::start(addr, study.registry().clone(), study.tracer().clone()) {
+                Ok(server) => {
+                    dox_obs::emit!(
+                        Level::Info,
+                        "repro",
+                        "telemetry serving",
+                        metrics = format!("http://{}/metrics", server.local_addr()),
+                        traces = format!("http://{}/traces", server.local_addr()),
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind telemetry on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let r = match if args.reference {
         study.run_reference()
     } else {
@@ -269,6 +322,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         dox_obs::emit!(Level::Info, "repro", "JSON report written", path = path);
+    }
+
+    if let Some(path) = &args.trace {
+        // Deterministic like the report: doc-id-ordered JSONL, sim-clock
+        // hop timestamps, hash-based sampling — byte-identical for a
+        // fixed (scale, seed, ppm) at any worker/shard count.
+        let jsonl = study.tracer().export_jsonl();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        dox_obs::emit!(
+            Level::Info,
+            "repro",
+            "trace export written",
+            path = path,
+            traces = study.tracer().buffered(),
+            evicted = study.tracer().dropped(),
+        );
     }
 
     let snapshot = obs.snapshot();

@@ -14,7 +14,7 @@
 
 use dox_fault::{
     run_op, BreakerConfig, BreakerSet, CoverageGaps, FaultDomain, FaultPlan, FaultPlanConfig,
-    FaultStats, RetryPolicy,
+    FaultStats, OpOutcome, RetryPolicy,
 };
 use dox_obs::{Counter, Histogram, Registry};
 use dox_osn::account::AccountId;
@@ -142,6 +142,24 @@ impl AccountHistory {
     }
 }
 
+/// What one [`Monitor::enroll_and_probe`] round cost: how many probes
+/// ran, how many the fault plan swallowed, and the aggregate retry
+/// weather — the numbers a sampled document's `monitor` trace hop
+/// carries. All zeros for a re-enrollment (which is a no-op).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeRound {
+    /// Probes the schedule called for.
+    pub probes: u32,
+    /// Probes lost to exhausted fault retries (explicit coverage gaps).
+    pub missed_probes: u32,
+    /// Fault-gauntlet attempts across the round, including successes.
+    pub attempts: u32,
+    /// Simulated backoff ticks spent across the round.
+    pub delay: u64,
+    /// Circuit-breaker trips the round's failures caused.
+    pub breaker_trips: u32,
+}
+
 /// Fault machinery for a monitor: the plan, the retry policy, one
 /// breaker per network, and the running gap/retry tallies.
 struct MonitorFaults {
@@ -170,6 +188,7 @@ pub struct Monitor {
     probes: Counter,
     probe_failures: Counter,
     round_ns: Histogram,
+    retry_wait: Histogram,
 }
 
 impl Monitor {
@@ -190,6 +209,7 @@ impl Monitor {
             probes: registry.counter("monitor.probes"),
             probe_failures: registry.counter("monitor.probe_failures"),
             round_ns: registry.histogram("monitor.scrape_round"),
+            retry_wait: registry.histogram("pipeline.stage.retry_wait"),
         }
     }
 
@@ -213,16 +233,29 @@ impl Monitor {
         monitor
     }
 
-    /// Run the injected-fault gauntlet for one operation; `true` means
-    /// the operation (virtually) succeeded. Fault-free monitors always
-    /// succeed. Recovered operations keep their scheduled sim time — the
-    /// retries play out on the plan's virtual clock — so observations are
-    /// unchanged and output stays byte-identical.
-    fn faults_admit(&mut self, domain: FaultDomain, network: &str, key: u64, at: SimTime) -> bool {
+    /// Run the injected-fault gauntlet for one operation; `Some` carries
+    /// the (virtual) retry weather of a successful operation, `None` means
+    /// the retries exhausted. Fault-free monitors always succeed at the
+    /// first attempt. Recovered operations keep their scheduled sim time —
+    /// the retries play out on the plan's virtual clock — so observations
+    /// are unchanged and output stays byte-identical.
+    fn faults_admit(
+        &mut self,
+        domain: FaultDomain,
+        network: &str,
+        key: u64,
+        at: SimTime,
+    ) -> Option<OpOutcome> {
         let Some(f) = self.faults.as_mut() else {
-            return true;
+            return Some(OpOutcome {
+                attempts: 1,
+                delay: 0,
+                breaker_trips: 0,
+            });
         };
-        run_op(
+        // dox-lint:allow(determinism) wall time inside the backoff shim; profile only
+        let wait_start = std::time::Instant::now();
+        let outcome = run_op(
             &f.plan,
             &f.policy,
             Some(f.breakers.breaker(network)),
@@ -231,26 +264,29 @@ impl Monitor {
             network,
             key,
             at.0,
-        )
-        .is_ok()
+        );
+        self.retry_wait.observe_duration(wait_start.elapsed());
+        outcome.ok()
     }
 
     /// Enroll an account first observed at `observed_at` and execute its
     /// whole probe schedule against `world`. Re-enrolling an account
     /// (victim re-doxed) is a no-op — the paper monitors from the first
-    /// observation.
+    /// observation. Returns the round's probe/retry tallies (all zeros for
+    /// a re-enrollment) so callers can attach them to a causal trace.
     pub fn enroll_and_probe(
         &mut self,
         world: &SimOsnWorld,
         account: AccountId,
         observed_at: SimTime,
-    ) {
+    ) -> ProbeRound {
         if self.histories.contains_key(&account) {
-            return;
+            return ProbeRound::default();
         }
         // dox-lint:allow(determinism) enrollment latency metric; probe times come from SimTime
         let round_start = std::time::Instant::now();
         self.enrollments.inc();
+        let mut round = ProbeRound::default();
         let jitter_key = (account.uid << 8) ^ account.network as u64;
         let times = self.schedule.probe_times(observed_at, jitter_key);
         let mut history = AccountHistory {
@@ -260,12 +296,21 @@ impl Monitor {
         };
         for (i, t) in times.into_iter().enumerate() {
             self.probes.inc();
+            round.probes += 1;
             let key = jitter_key ^ ((i as u64) << 40);
-            if !self.faults_admit(FaultDomain::Probe, account.network.name(), key, t) {
-                if let Some(f) = self.faults.as_mut() {
-                    f.gaps.missed_probes += 1;
+            match self.faults_admit(FaultDomain::Probe, account.network.name(), key, t) {
+                Some(outcome) => {
+                    round.attempts = round.attempts.saturating_add(outcome.attempts);
+                    round.delay = round.delay.saturating_add(outcome.delay);
+                    round.breaker_trips = round.breaker_trips.saturating_add(outcome.breaker_trips);
                 }
-                continue;
+                None => {
+                    round.missed_probes += 1;
+                    if let Some(f) = self.faults.as_mut() {
+                        f.gaps.missed_probes += 1;
+                    }
+                    continue;
+                }
             }
             match self.probe_recovering(world, account, t) {
                 Ok(obs) => history.observations.push(obs),
@@ -274,6 +319,7 @@ impl Monitor {
         }
         self.histories.insert(account, history);
         self.round_ns.observe_duration(round_start.elapsed());
+        round
     }
 
     /// Probe once, retrying rate limits at the limiter's `retry_at` hint.
@@ -310,7 +356,10 @@ impl Monitor {
         at: SimTime,
     ) -> Option<Vec<Comment>> {
         let key = (account.uid << 8) ^ account.network as u64 ^ 0xC033_E275;
-        if !self.faults_admit(FaultDomain::Comments, account.network.name(), key, at) {
+        if self
+            .faults_admit(FaultDomain::Comments, account.network.name(), key, at)
+            .is_none()
+        {
             if let Some(f) = self.faults.as_mut() {
                 f.gaps.missed_comment_fetches += 1;
             }

@@ -39,7 +39,8 @@ use dox_fault::{BreakerConfig, CoverageGaps, FaultPlanConfig, FaultStats, RetryP
 use dox_geo::alloc::{AllocConfig, Allocation};
 use dox_geo::geoip::GeoIpDb;
 use dox_geo::model::{World, WorldConfig};
-use dox_obs::{redact, Level, Registry, StageSpan};
+use dox_obs::trace::fault_hop;
+use dox_obs::{redact, Level, Registry, StageSpan, TraceConfig, Tracer};
 use dox_osn::account::AccountId;
 use dox_osn::clock::{SimDuration, SimTime};
 use dox_osn::filters::{FilterEra, FilterSchedule, StudyPeriods};
@@ -128,6 +129,14 @@ pub struct StudyConfig {
     pub breaker: BreakerConfig,
     /// Checkpoint/resume settings.
     pub durability: Durability,
+    /// Causal-trace sampling rate, documents per million. 0 (the default)
+    /// disables tracing entirely; [`dox_obs::SAMPLE_ALL`] traces every
+    /// document. Tracing is pure observation — the report is byte-identical
+    /// at any rate.
+    pub trace_sample_ppm: u32,
+    /// Bounded in-memory trace buffer capacity; the oldest trace (smallest
+    /// document id) is evicted — and counted — when it fills.
+    pub trace_capacity: usize,
 }
 
 impl StudyConfig {
@@ -183,6 +192,8 @@ impl StudyConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             durability: Durability::default(),
+            trace_sample_ppm: 0,
+            trace_capacity: 4096,
         }
     }
 }
@@ -222,6 +233,8 @@ impl StudyConfigBuilder {
         let retry = self.config.retry;
         let breaker = self.config.breaker;
         let durability = self.config.durability.clone();
+        let trace_sample_ppm = self.config.trace_sample_ppm;
+        let trace_capacity = self.config.trace_capacity;
         self.config = StudyConfig::at_scale(scale);
         self.config.seed = seed;
         self.config.synth.seed = seed;
@@ -230,6 +243,8 @@ impl StudyConfigBuilder {
         self.config.retry = retry;
         self.config.breaker = breaker;
         self.config.durability = durability;
+        self.config.trace_sample_ppm = trace_sample_ppm;
+        self.config.trace_capacity = trace_capacity;
         self
     }
 
@@ -291,6 +306,19 @@ impl StudyConfigBuilder {
     /// Resume from the checkpoint in the configured checkpoint dir.
     pub fn resume(mut self, resume: bool) -> Self {
         self.config.durability.resume = resume;
+        self
+    }
+
+    /// Trace `ppm` documents per million through the whole pipeline
+    /// (0 disables tracing, [`dox_obs::SAMPLE_ALL`] traces everything).
+    pub fn trace_sample(mut self, ppm: u32) -> Self {
+        self.config.trace_sample_ppm = ppm;
+        self
+    }
+
+    /// Retain at most `capacity` traces in the bounded buffer.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
         self
     }
 
@@ -414,6 +442,7 @@ fn config_fingerprint(cfg: &StudyConfig) -> u64 {
 pub struct Study {
     config: StudyConfig,
     registry: Registry,
+    tracer: Tracer,
 }
 
 impl Study {
@@ -425,7 +454,20 @@ impl Study {
     /// Create a study recording its phase spans, pipeline funnel and
     /// events into `registry` instead of the process-global one.
     pub fn with_registry(config: StudyConfig, registry: Registry) -> Self {
-        Self { config, registry }
+        let tracer = if config.trace_sample_ppm == 0 {
+            Tracer::disabled()
+        } else {
+            Tracer::new(TraceConfig {
+                seed: config.seed,
+                sample_ppm: config.trace_sample_ppm,
+                capacity: config.trace_capacity,
+            })
+        };
+        Self {
+            config,
+            registry,
+            tracer,
+        }
     }
 
     /// The configuration.
@@ -436,6 +478,13 @@ impl Study {
     /// The metrics registry this study records into.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The causal tracer this study's documents flow through. Disabled —
+    /// every call a no-op — unless `trace_sample_ppm > 0`; export its
+    /// buffer with [`Tracer::export_jsonl`] after [`Study::run`].
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Execute the full reproduction through the streaming ingest engine
@@ -503,6 +552,9 @@ impl Study {
             Some(plan) => Collector::with_faults(seed, plan.clone(), cfg.retry, cfg.breaker),
             None => Collector::new(seed),
         };
+        // Sampled documents are admitted to the tracer here, at the
+        // sequential collection boundary — the head of every causal trace.
+        collector.instrument(obs, &self.tracer);
         let mut events: Vec<DoxEvent> = Vec::new();
         let record_event =
             |events: &mut Vec<DoxEvent>, collected: &dox_sites::collect::CollectedDoc| {
@@ -585,13 +637,13 @@ impl Study {
                     "resuming from checkpoint",
                     vec![("docs_ingested".into(), skip.to_string())],
                 );
-                engine.resume_session_with_registry(detector, obs, loaded.session)?
+                engine.resume_traced_session(detector, obs, &self.tracer, loaded.session)?
             } else {
                 if let Some(dir) = &cfg.durability.checkpoint_dir {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| Error::Checkpoint(format!("create {}: {e}", dir.display())))?;
                 }
-                engine.session_with_registry(detector, obs)
+                engine.traced_session(detector, obs, &self.tracer)
             };
 
             let mut delivered: u64 = 0;
@@ -747,7 +799,29 @@ impl Study {
                     continue;
                 }
                 if let Some(id) = osn.resolve(r.network, &r.handle) {
-                    monitor.enroll_and_probe(&osn, id, d.observed_at);
+                    let round = monitor.enroll_and_probe(&osn, id, d.observed_at);
+                    // Extend the detecting document's causal trace into
+                    // monitoring: the hop carries the round's probe count
+                    // and aggregate fault weather. A zero-probe round is a
+                    // re-enrollment no-op and adds no hop.
+                    if round.probes > 0 && self.tracer.sampled(d.doc_id) {
+                        self.tracer.hop(
+                            d.doc_id,
+                            fault_hop(
+                                "monitor",
+                                d.observed_at.0,
+                                round.attempts,
+                                round.delay,
+                                round.breaker_trips,
+                                format!(
+                                    "network={} probes={} missed={}",
+                                    r.network.name(),
+                                    round.probes,
+                                    round.missed_probes
+                                ),
+                            ),
+                        );
+                    }
                     monitored_ids.push(id);
                 }
             }

@@ -61,7 +61,7 @@ pub use session::Session;
 pub use stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
 
 use dox_fault::{FaultPlanConfig, RetryPolicy};
-use dox_obs::Registry;
+use dox_obs::{Registry, Tracer};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -321,7 +321,25 @@ impl Engine {
         classifier: Arc<dyn DoxDetector>,
         registry: &Registry,
     ) -> Session {
-        Session::spawn(&self.config, classifier, registry, None)
+        Session::spawn(
+            &self.config,
+            classifier,
+            registry,
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// Start a session that additionally records causal trace hops for
+    /// sampled documents into the given [`Tracer`]. Tracing is pure
+    /// observation: output stays byte-identical to an untraced session.
+    pub fn traced_session(
+        &self,
+        classifier: Arc<dyn DoxDetector>,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Session {
+        Session::spawn(&self.config, classifier, registry, tracer, None)
     }
 
     /// Resume a session from a checkpoint, reporting into the
@@ -342,6 +360,19 @@ impl Engine {
         registry: &Registry,
         checkpoint: SessionCheckpoint,
     ) -> Result<Session, EngineError> {
+        self.resume_traced_session(classifier, registry, &Tracer::disabled(), checkpoint)
+    }
+
+    /// Resume a session from a checkpoint with causal tracing attached —
+    /// the traced counterpart of
+    /// [`resume_session_with_registry`](Engine::resume_session_with_registry).
+    pub fn resume_traced_session(
+        &self,
+        classifier: Arc<dyn DoxDetector>,
+        registry: &Registry,
+        tracer: &Tracer,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<Session, EngineError> {
         if checkpoint.shards != self.config.shards {
             return Err(EngineError::CheckpointShardMismatch {
                 expected: self.config.shards,
@@ -352,6 +383,7 @@ impl Engine {
             &self.config,
             classifier,
             registry,
+            tracer,
             Some(checkpoint),
         ))
     }

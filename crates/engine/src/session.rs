@@ -65,7 +65,8 @@ use crate::reorder::ReorderBuffer;
 use crate::stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
 use crate::{EngineConfig, EngineError, StagePanic};
 use dox_fault::{FaultPlan, StageDirective};
-use dox_obs::{Counter, Gauge, Histogram, Registry};
+use dox_obs::trace::{fault_hop, hop};
+use dox_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use dox_osn::clock::SimTime;
 use dox_sites::collect::CollectedDoc;
 use dox_synth::corpus::Source;
@@ -211,6 +212,7 @@ pub struct Session {
     queue_depth: Gauge,
     stalls: Counter,
     stall_ns: Histogram,
+    tracer: Tracer,
 }
 
 impl Session {
@@ -218,6 +220,7 @@ impl Session {
         config: &EngineConfig,
         classifier: Arc<dyn DoxDetector>,
         registry: &Registry,
+        tracer: &Tracer,
         restore: Option<SessionCheckpoint>,
     ) -> Self {
         let work: Arc<Queue<WorkChunk>> = Arc::new(Queue::bounded(config.queue_depth));
@@ -278,6 +281,14 @@ impl Session {
         registry.gauge("engine.workers").set(config.workers as i64);
         registry.gauge("engine.shards").set(config.shards as i64);
 
+        // Per-queue depth gauges plus a shared backpressure ledger: every
+        // blocking push past the ingest boundary lands its stall here, so
+        // `GET /metrics` can show where the pipe is tight right now.
+        let staged_depth = registry.gauge("engine.queue.staged.depth");
+        let verdicts_depth = registry.gauge("engine.queue.verdicts.depth");
+        let bp_stalls = registry.counter("engine.queue.backpressure.stalls");
+        let bp_ns = registry.histogram("engine.queue.backpressure_ns");
+
         let fault_ctx: Option<(FaultPlan, u32)> = config
             .faults
             .as_ref()
@@ -290,18 +301,29 @@ impl Session {
                 let classifier = Arc::clone(&classifier);
                 let stage_metrics = stage_metrics.clone();
                 let fault_ctx = fault_ctx.clone();
+                let tracer = tracer.clone();
                 let slow_chunks = registry.counter("engine.fault.slow_chunks");
                 let poisoned_chunks = registry.counter("engine.fault.poisoned_chunks");
                 let stage_retries = registry.counter("engine.fault.stage_retries");
                 let exhausted_docs = registry.counter("engine.fault.stage_exhausted_docs");
+                let staged_depth = staged_depth.clone();
+                let bp_stalls = bp_stalls.clone();
+                let bp_ns = bp_ns.clone();
                 std::thread::spawn(move || {
                     while let Some(chunk) = work.pop() {
                         let mut exhausted = false;
+                        // The chunk's fault weather, kept so sampled
+                        // documents can carry a `stage_fault` hop:
+                        // (attempts the simulated supervisor made, note).
+                        let mut fault_event: Option<(u32, String)> = None;
                         if let Some((plan, max_retries)) = &fault_ctx {
                             match plan.stage_directive(chunk.seq) {
                                 StageDirective::Healthy => {}
                                 StageDirective::Slow { yields } => {
                                     slow_chunks.inc();
+                                    if tracer.enabled() {
+                                        fault_event = Some((1, format!("slow yields={yields}")));
+                                    }
                                     for _ in 0..yields {
                                         std::thread::yield_now();
                                     }
@@ -311,11 +333,23 @@ impl Session {
                                     if failures > *max_retries {
                                         exhausted = true;
                                         exhausted_docs.add(chunk.docs.len() as u64);
+                                        if tracer.enabled() {
+                                            fault_event = Some((
+                                                failures + 1,
+                                                format!("poison exhausted failures={failures}"),
+                                            ));
+                                        }
                                     } else {
                                         // A retrying supervisor re-runs the
                                         // pure stage; only the attempt count
                                         // is observable.
                                         stage_retries.add(u64::from(failures));
+                                        if tracer.enabled() {
+                                            fault_event = Some((
+                                                failures + 1,
+                                                format!("poison retried failures={failures}"),
+                                            ));
+                                        }
                                     }
                                 }
                             }
@@ -334,18 +368,37 @@ impl Session {
                                         &mut timings,
                                     ))
                                 };
+                                if tracer.sampled(doc.doc.id) {
+                                    let at = doc.collected_at.0;
+                                    if let Some((attempts, note)) = &fault_event {
+                                        tracer.hop(
+                                            doc.doc.id,
+                                            fault_hop("stage_fault", at, *attempts, 0, 0, note),
+                                        );
+                                    }
+                                    let verdict = match &outcome {
+                                        StageOutcome::Done(Some(_)) => "dox",
+                                        StageOutcome::Done(None) => "paste",
+                                        StageOutcome::Failed => "failed",
+                                    };
+                                    tracer.hop(doc.doc.id, hop("classify", at, verdict));
+                                }
                                 (period, doc, outcome)
                             })
                             .collect();
                         timings.merge_into(&stage_metrics);
-                        if staged
-                            .push(StagedChunk {
-                                seq: chunk.seq,
-                                items,
-                            })
-                            .is_err()
-                        {
-                            break;
+                        match staged.push(StagedChunk {
+                            seq: chunk.seq,
+                            items,
+                        }) {
+                            Ok(pushed) => {
+                                staged_depth.set(pushed.depth as i64);
+                                if pushed.stalled_for > Duration::ZERO {
+                                    bp_stalls.inc();
+                                    bp_ns.observe_duration(pushed.stalled_for);
+                                }
+                            }
+                            Err(_) => break,
                         }
                     }
                 })
@@ -360,15 +413,24 @@ impl Session {
             let shard_docs: Vec<Counter> = (0..shards)
                 .map(|i| registry.counter(&format!("engine.shard.{i}.docs")))
                 .collect();
+            let shard_depths: Vec<Gauge> = (0..shards)
+                .map(|i| registry.gauge(&format!("engine.shard.{i}.queue_depth")))
+                .collect();
             let collected = collected.clone();
             let classified_dox = classified_dox.clone();
             let stage_gaps = stage_gaps.clone();
+            let tracer = tracer.clone();
+            let route_ns = registry.histogram("pipeline.stage.route");
+            let bp_stalls = bp_stalls.clone();
+            let bp_ns = bp_ns.clone();
             std::thread::spawn(move || {
                 'drain: while let Some(chunk) = staged.pop() {
                     // Commit under the router lock, collect the routable
                     // jobs, then release before the (blocking) queue pushes.
                     let mut jobs: Vec<(usize, DoxJob)> = Vec::new();
                     let mut chunks_ready = 0u64;
+                    // dox-lint:allow(determinism) route-stage timing histogram; observation only
+                    let route_start = Instant::now();
                     {
                         let mut state = lock(&shared.router);
                         state.reorder.push(chunk.seq, chunk.items);
@@ -390,6 +452,16 @@ impl Session {
                                     StageOutcome::Failed => {
                                         state.stage_gap_docs += 1;
                                         stage_gaps.inc();
+                                        if tracer.sampled(doc.id) {
+                                            tracer.hop(
+                                                doc.id,
+                                                hop(
+                                                    "stage_gap",
+                                                    collected_at.0,
+                                                    "document lost to exhausted poison",
+                                                ),
+                                            );
+                                        }
                                         continue;
                                     }
                                 };
@@ -400,11 +472,26 @@ impl Session {
                                 state.counters.dox_per_period[slot] += 1;
                                 classified_dox.inc();
                                 state.dox_ids.insert(doc.id);
-                                let shard = shard_of(shard_signature(&text, &extracted), shards);
+                                let sig = shard_signature(&text, &extracted);
+                                let shard = shard_of(sig, shards);
                                 let truth = match doc.truth {
                                     GroundTruth::Dox(t) => Some(t),
                                     GroundTruth::Paste { .. } => None,
                                 };
+                                if tracer.sampled(doc.id) {
+                                    // The hop carries the shard *signature*,
+                                    // not the shard index: the signature is a
+                                    // pure function of content, so traces stay
+                                    // byte-identical across shard counts.
+                                    tracer.hop(
+                                        doc.id,
+                                        hop(
+                                            "route",
+                                            collected_at.0,
+                                            format!("sig={sig:016x} dox_seq={}", state.dox_seq),
+                                        ),
+                                    );
+                                }
                                 let job = DoxJob {
                                     dox_seq: state.dox_seq,
                                     period,
@@ -421,11 +508,19 @@ impl Session {
                             }
                         }
                     }
+                    route_ns.observe_duration(route_start.elapsed());
                     let routed = jobs.len() as u64;
                     for (shard, job) in jobs {
                         shard_docs[shard].inc();
-                        if shard_queues[shard].push(job).is_err() {
-                            break 'drain;
+                        match shard_queues[shard].push(job) {
+                            Ok(pushed) => {
+                                shard_depths[shard].set(pushed.depth as i64);
+                                if pushed.stalled_for > Duration::ZERO {
+                                    bp_stalls.inc();
+                                    bp_ns.observe_duration(pushed.stalled_for);
+                                }
+                            }
+                            Err(_) => break 'drain,
                         }
                     }
                     // One progress update per staged chunk, *after* the
@@ -450,6 +545,10 @@ impl Session {
                 let shared = Arc::clone(&shared);
                 let dedup_ns = dedup_ns.clone();
                 let shard_ns = registry.histogram(&format!("engine.shard.{i}.dedup_ns"));
+                let tracer = tracer.clone();
+                let verdicts_depth = verdicts_depth.clone();
+                let bp_stalls = bp_stalls.clone();
+                let bp_ns = bp_ns.clone();
                 std::thread::spawn(move || {
                     while let Some(job) = q.pop() {
                         // dox-lint:allow(determinism) per-shard dedup latency histogram; never enters the report
@@ -459,8 +558,22 @@ impl Session {
                         let elapsed = start.elapsed();
                         dedup_ns.observe_duration(elapsed);
                         shard_ns.observe_duration(elapsed);
-                        if verdicts.push(Verdict { job, duplicate }).is_err() {
-                            break;
+                        if tracer.sampled(job.doc_id) {
+                            let note = match &duplicate {
+                                None => "unique".to_string(),
+                                Some((kind, of)) => format!("duplicate kind={kind:?} of={of}"),
+                            };
+                            tracer.hop(job.doc_id, hop("dedup", job.observed_at.0, note));
+                        }
+                        match verdicts.push(Verdict { job, duplicate }) {
+                            Ok(pushed) => {
+                                verdicts_depth.set(pushed.depth as i64);
+                                if pushed.stalled_for > Duration::ZERO {
+                                    bp_stalls.inc();
+                                    bp_ns.observe_duration(pushed.stalled_for);
+                                }
+                            }
+                            Err(_) => break,
                         }
                     }
                 })
@@ -470,14 +583,33 @@ impl Session {
         let committer = {
             let verdicts = Arc::clone(&verdicts);
             let shared = Arc::clone(&shared);
+            let tracer = tracer.clone();
+            let commit_ns = registry.histogram("pipeline.stage.commit");
             std::thread::spawn(move || {
                 while let Some(verdict) = verdicts.pop() {
                     let mut committed = 0u64;
+                    // dox-lint:allow(determinism) commit-stage timing histogram; observation only
+                    let commit_start = Instant::now();
                     {
                         let mut state = lock(&shared.committer);
                         state.reorder.push(verdict.job.dox_seq, verdict);
                         while let Some(Verdict { job, duplicate }) = state.reorder.pop_ready() {
                             committed += 1;
+                            if tracer.sampled(job.doc_id) {
+                                let fate = if duplicate.is_some() {
+                                    "duplicate"
+                                } else {
+                                    "unique"
+                                };
+                                tracer.hop(
+                                    job.doc_id,
+                                    hop(
+                                        "commit",
+                                        job.observed_at.0,
+                                        format!("dox_seq={} {fate}", job.dox_seq),
+                                    ),
+                                );
+                            }
                             match duplicate {
                                 Some((kind, _)) => {
                                     state.counters.duplicates_per_period
@@ -508,6 +640,7 @@ impl Session {
                             });
                         }
                     }
+                    commit_ns.observe_duration(commit_start.elapsed());
                     if committed > 0 {
                         let mut progress = lock(&shared.progress);
                         progress.doxes_committed += committed;
@@ -534,6 +667,7 @@ impl Session {
             queue_depth: registry.gauge("engine.queue.depth"),
             stalls: registry.counter("engine.queue.stalls"),
             stall_ns: registry.histogram("engine.queue.stall_ns"),
+            tracer: tracer.clone(),
         }
     }
 
@@ -542,6 +676,14 @@ impl Session {
     pub fn ingest(&mut self, period: u8, doc: CollectedDoc) -> Result<(), EngineError> {
         if !(1..=2).contains(&period) {
             return Err(EngineError::InvalidPeriod(period));
+        }
+        if self.tracer.sampled(doc.doc.id) {
+            // Admission happens here, on the single producer thread, so
+            // which documents occupy the bounded trace buffer is a pure
+            // function of ingest order. A no-op when the collector already
+            // began this trace (insert-if-absent).
+            self.tracer
+                .begin(doc.doc.id, hop("ingest", doc.collected_at.0, ""));
         }
         self.buf.push((period, doc));
         if self.buf.len() >= self.chunk {

@@ -129,6 +129,10 @@ pub struct OpOutcome {
     /// Simulated ticks between the scheduled time and the attempt that
     /// succeeded (0 when the first attempt went through).
     pub delay: u64,
+    /// Times this operation's failures tripped its circuit breaker open
+    /// (always 0 without a breaker). Deterministic — breaker transitions
+    /// are virtual-time functions — so trace hops can carry it.
+    pub breaker_trips: u32,
 }
 
 /// Drive one operation through `plan` under `policy`, in simulated time.
@@ -158,6 +162,7 @@ pub fn run_op(
     at: u64,
 ) -> Result<OpOutcome, FaultError> {
     stats.ops += 1;
+    let opened_before = breaker.as_deref().map_or(0, |b| b.transitions().opened);
     let mut virtual_at = at;
     let mut attempt = 0u32;
     loop {
@@ -166,12 +171,15 @@ pub fn run_op(
         }
         match plan.fault_for(domain, target, key, virtual_at, attempt) {
             None => {
+                let opened_after = breaker.as_deref().map_or(0, |b| b.transitions().opened);
                 if let Some(b) = breaker.as_deref_mut() {
                     b.on_success();
                 }
                 return Ok(OpOutcome {
                     attempts: attempt + 1,
                     delay: virtual_at.saturating_sub(at),
+                    breaker_trips: u32::try_from(opened_after.saturating_sub(opened_before))
+                        .unwrap_or(u32::MAX),
                 });
             }
             Some(fault) => {

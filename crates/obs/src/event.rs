@@ -67,6 +67,7 @@ pub struct EventLog {
     ring: Mutex<VecDeque<Event>>,
     capacity: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
     echo: AtomicBool,
 }
 
@@ -83,6 +84,7 @@ impl EventLog {
             ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             echo: AtomicBool::new(false),
         }
     }
@@ -123,7 +125,10 @@ impl EventLog {
         }
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
+            // Loud drop: the eviction is counted and surfaces in the
+            // snapshot as `events_dropped`, never a silent overwrite.
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(event);
     }
@@ -136,6 +141,11 @@ impl EventLog {
     /// Total events ever emitted (including ones the ring dropped).
     pub fn emitted(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events the ring evicted to admit newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -155,6 +165,18 @@ mod tests {
         assert_eq!(recent[2].message, "m4");
         assert_eq!(recent[2].seq, 4);
         assert_eq!(log.emitted(), 5);
+        assert_eq!(log.dropped(), 2, "evictions are counted, not silent");
+    }
+
+    #[test]
+    fn no_drops_below_capacity() {
+        let log = EventLog::with_capacity(8);
+        for i in 0..8 {
+            log.emit(Level::Info, "t", format!("m{i}"), vec![]);
+        }
+        assert_eq!(log.dropped(), 0);
+        log.emit(Level::Info, "t", "overflow", vec![]);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! * **Redaction** — [`redact()`] wraps a sensitive string so only its
 //!   length and a stable fingerprint can reach a sink; `dox-lint`'s
 //!   `pii-sink` rule enforces that document content goes through it.
+//! * **Traces** — [`Tracer`] follows sampled documents hop by hop
+//!   through the pipeline with seeded ids and sim-clock timestamps, so
+//!   the exported JSONL is byte-identical for a given
+//!   `(config, seed, sampling)` at any worker/shard topology.
+//! * **Telemetry** — [`Telemetry`] serves the live snapshot, rolling
+//!   per-stage docs/s, and recent traces over a hand-rolled HTTP
+//!   endpoint (`GET /metrics`, `GET /traces`).
 //!
 //! Metrics observe the computation without participating in it: recording
 //! must never change what the pipeline produces. The study stays a pure
@@ -31,12 +38,16 @@ pub mod metrics;
 pub mod redact;
 pub mod snapshot;
 pub mod span;
+pub mod telemetry;
+pub mod trace;
 
 pub use event::{Event, EventLog, Level};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
 pub use redact::{redact, Redacted};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::{NoopRecorder, Recorder, StageSpan};
+pub use telemetry::Telemetry;
+pub use trace::{Trace, TraceConfig, TraceHop, Tracer, SAMPLE_ALL};
 
 use std::sync::OnceLock;
 

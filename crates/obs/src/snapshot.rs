@@ -34,6 +34,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram summaries by name (stage spans live here).
     pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Events the ring buffer evicted to admit newer ones (loud-drop
+    /// accounting: `events` below is complete iff this is 0).
+    pub events_dropped: u64,
     /// Recent structured events, oldest first.
     pub events: Vec<Event>,
 }
@@ -74,6 +77,7 @@ impl Registry {
             counters,
             gauges,
             spans,
+            events_dropped: self.events.dropped(),
             events: self.events.recent(),
         }
     }
@@ -133,6 +137,14 @@ impl Snapshot {
                 let _ = writeln!(out, "{name:<34} {value:>10}");
             }
         }
+        if self.events_dropped > 0 {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "events dropped: {} (ring evicted; raise the event-log capacity to keep them)",
+                self.events_dropped
+            );
+        }
         out
     }
 }
@@ -191,5 +203,20 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty() {
         assert_eq!(Registry::new().snapshot().render_table(), "");
+    }
+
+    #[test]
+    fn snapshot_surfaces_event_drops() {
+        let registry = Registry::new();
+        assert_eq!(registry.snapshot().events_dropped, 0);
+        let capacity = registry.events().capacity();
+        for i in 0..capacity + 3 {
+            registry
+                .events()
+                .emit(Level::Info, "test", format!("e{i}"), vec![]);
+        }
+        let s = registry.snapshot();
+        assert_eq!(s.events_dropped, 3);
+        assert!(s.render_table().contains("events dropped: 3"));
     }
 }

@@ -1,0 +1,307 @@
+//! Live telemetry over a hand-rolled HTTP/1.1 server.
+//!
+//! The no-external-registry constraint rules out hyper/axum, and a
+//! metrics surface does not need them: this is a blocking
+//! [`std::net::TcpListener`] on its own thread, answering two routes:
+//!
+//! * `GET /metrics` — the current [`crate::Snapshot`] (counters, gauges,
+//!   span histograms, recent events, drop counts) plus
+//!   `rates_per_s`: rolling per-stage docs/s computed from counter and
+//!   histogram-count deltas between successive scrapes, and the
+//!   tracer's admitted/buffered/dropped tallies.
+//! * `GET /traces` — the most recent sampled traces from the bounded
+//!   trace buffer, as a JSON object.
+//!
+//! Everything else is a 404. Requests are served sequentially; this is
+//! an operator inspection port, not a public API. Wall-clock time is
+//! used for scrape-to-scrape rates — that is fine here because nothing
+//! served by this endpoint ever feeds the `ExperimentReport`.
+
+use crate::metrics::Registry;
+use crate::trace::Tracer;
+use serde::value::{Number, Value};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Traces returned by `GET /traces`.
+const TRACES_LIMIT: usize = 64;
+
+/// A running telemetry endpoint. Stop it with [`Telemetry::stop`];
+/// dropping it also shuts the server down.
+#[derive(Debug)]
+pub struct Telemetry {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Telemetry {
+    /// Bind `addr` (e.g. `"127.0.0.1:9100"`, port 0 for ephemeral) and
+    /// serve the given registry and tracer until stopped.
+    ///
+    /// # Errors
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(addr: &str, registry: Registry, tracer: Tracer) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dox-telemetry".to_string())
+            .spawn(move || serve(&listener, &registry, &tracer, &thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the server down and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Scrape-to-scrape state for rolling rates.
+struct RateBaseline {
+    at: Instant,
+    counts: BTreeMap<String, u64>,
+}
+
+fn serve(listener: &TcpListener, registry: &Registry, tracer: &Tracer, stop: &AtomicBool) {
+    let mut baseline: Option<RateBaseline> = None;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = handle_connection(stream, registry, tracer, &mut baseline);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    tracer: &Tracer,
+    baseline: &mut Option<RateBaseline>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, payload) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", metrics_body(registry, tracer, baseline)),
+        ("GET", "/traces") => ("200 OK", traces_body(tracer)),
+        _ => ("404 Not Found", "{\"error\":\"not found\"}".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    )?;
+    stream.flush()
+}
+
+/// Current per-stage completion counts: every counter's value plus every
+/// histogram's observation count — the quantities whose deltas are
+/// "documents per second" for a stage.
+fn stage_counts(snapshot: &crate::Snapshot) -> BTreeMap<String, u64> {
+    let mut counts: BTreeMap<String, u64> = snapshot.counters.clone();
+    for (name, h) in &snapshot.spans {
+        counts.insert(name.clone(), h.count);
+    }
+    counts
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn metrics_body(
+    registry: &Registry,
+    tracer: &Tracer,
+    baseline: &mut Option<RateBaseline>,
+) -> String {
+    let snapshot = registry.snapshot();
+    let now = Instant::now();
+    let counts = stage_counts(&snapshot);
+    let mut rates: Vec<(String, Value)> = Vec::new();
+    if let Some(prev) = baseline.as_ref() {
+        let elapsed = now.duration_since(prev.at).as_secs_f64();
+        if elapsed > 0.0 {
+            for (name, count) in &counts {
+                let before = prev.counts.get(name).copied().unwrap_or(0);
+                let per_s = (count.saturating_sub(before)) as f64 / elapsed;
+                // Keep the JSON readable: three decimals is plenty for an
+                // operator eyeballing throughput.
+                rates.push((
+                    name.clone(),
+                    Value::Number(Number::F64((per_s * 1000.0).round() / 1000.0)),
+                ));
+            }
+        }
+    }
+    *baseline = Some(RateBaseline { at: now, counts });
+    let trace_stats = Value::Object(vec![
+        (
+            "admitted".to_string(),
+            Value::Number(Number::U64(tracer.admitted())),
+        ),
+        (
+            "buffered".to_string(),
+            Value::Number(Number::U64(tracer.buffered() as u64)),
+        ),
+        (
+            "dropped".to_string(),
+            Value::Number(Number::U64(tracer.dropped())),
+        ),
+    ]);
+    let body = Value::Object(vec![
+        ("snapshot".to_string(), snapshot.to_value()),
+        ("rates_per_s".to_string(), Value::Object(rates)),
+        ("trace".to_string(), trace_stats),
+    ]);
+    serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string())
+}
+
+fn traces_body(tracer: &Tracer) -> String {
+    let traces: Vec<Value> = tracer
+        .recent(TRACES_LIMIT)
+        .iter()
+        .map(Serialize::to_value)
+        .collect();
+    let body = Value::Object(vec![
+        (
+            "dropped".to_string(),
+            Value::Number(Number::U64(tracer.dropped())),
+        ),
+        ("traces".to_string(), Value::Array(traces)),
+    ]);
+    serde_json::to_string(&body).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{hop, TraceConfig, SAMPLE_ALL};
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    fn fixture() -> (Registry, Tracer) {
+        let registry = Registry::new();
+        registry.counter("pipeline.funnel.collected").add(120);
+        registry.histogram("pipeline.stage.classify").observe(500);
+        let tracer = Tracer::new(TraceConfig {
+            seed: 5,
+            sample_ppm: SAMPLE_ALL,
+            capacity: 64,
+        });
+        tracer.begin(3, hop("collect", 30, "src=pastebin"));
+        tracer.hop(3, hop("commit", 30, "seq=0"));
+        (registry, tracer)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_snapshot_and_rates() {
+        let (registry, tracer) = fixture();
+        let server =
+            Telemetry::start("127.0.0.1:0", registry.clone(), tracer).expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("json body");
+        assert_eq!(
+            v["snapshot"]["counters"]["pipeline.funnel.collected"].as_u64(),
+            Some(120)
+        );
+        assert_eq!(v["trace"]["buffered"].as_u64(), Some(1));
+
+        // Second scrape: rates appear, reflecting the delta.
+        registry.counter("pipeline.funnel.collected").add(60);
+        let (_, body2) = get(addr, "/metrics");
+        let v2: serde_json::Value = serde_json::from_str(&body2).expect("json body");
+        let rate = v2["rates_per_s"]["pipeline.funnel.collected"]
+            .as_f64()
+            .expect("rate present");
+        assert!(rate > 0.0, "delta of 60 must yield a positive rate");
+        server.stop();
+    }
+
+    #[test]
+    fn traces_endpoint_serves_recent_traces() {
+        let (registry, tracer) = fixture();
+        let server = Telemetry::start("127.0.0.1:0", registry, tracer).expect("bind ephemeral");
+        let (head, body) = get(server.local_addr(), "/traces");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("json body");
+        let traces = v["traces"].as_array().expect("traces array");
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0]["doc_id"].as_u64(), Some(3));
+        assert_eq!(traces[0]["hops"][1]["stage"].as_str(), Some("commit"));
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_routes_are_404() {
+        let (registry, tracer) = fixture();
+        let server = Telemetry::start("127.0.0.1:0", registry, tracer).expect("bind ephemeral");
+        let (head, _) = get(server.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_the_server_thread() {
+        let (registry, tracer) = fixture();
+        let server = Telemetry::start("127.0.0.1:0", registry, tracer).expect("bind ephemeral");
+        let addr = server.local_addr();
+        server.stop();
+        // The port is released once the thread exits; a rebind succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "address released after stop");
+    }
+}

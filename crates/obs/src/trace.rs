@@ -1,0 +1,459 @@
+//! `dox-trace` — deterministic end-to-end causal tracing.
+//!
+//! Every document entering the pipeline can carry a trace: a seeded,
+//! deterministic trace id plus an append-only list of [`TraceHop`]s, one
+//! per stage the document passes through (collect → classify/extract →
+//! shard routing → dedup → commit → monitor probes). Hops record
+//! timestamps on the fault *sim-clock* — never the wall clock — so the
+//! exported trace stream is a pure function of `(config, seed, sampling)`
+//! and byte-identical at any worker/shard topology.
+//!
+//! Determinism is achieved structurally, not by locking the pipeline:
+//!
+//! * **Sampling** is a hash decision: a document is sampled iff
+//!   `mix(seed ^ doc_id) % 1_000_000 < sample_ppm`. No state, no races.
+//! * **Admission** ([`Tracer::begin`]) happens only at the first hop,
+//!   which the single-threaded collector performs in document order, so
+//!   which documents occupy the bounded buffer is deterministic. When the
+//!   buffer is full the oldest trace (smallest `doc_id`) is evicted and
+//!   counted in [`Tracer::dropped`] — a loud drop, never a silent one.
+//! * **Hops** for one document are appended in causal pipeline order
+//!   (queue handoffs impose happens-before), and each document owns its
+//!   hop vector, so cross-document thread interleaving cannot reorder
+//!   anything observable.
+//! * **Export** ([`Tracer::export_jsonl`]) walks the buffer in `doc_id`
+//!   order after the pipeline has drained.
+//!
+//! Document content never enters a hop directly: bodies and handles must
+//! pass through [`crate::redact()`], which is what the `content_note`
+//! helper on [`Tracer`] enforces.
+
+use crate::redact::redact;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `sample_ppm` value that samples every document.
+pub const SAMPLE_ALL: u32 = 1_000_000;
+
+/// SplitMix64 finalizer — the same mixer `dox-fault` uses for fault
+/// decisions, so trace ids are seeded, well-spread, and entropy-free.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tracing knobs. The default is disabled (zero sampling), which costs
+/// one branch per document on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TraceConfig {
+    /// Seed folded into every trace id and sampling decision.
+    pub seed: u64,
+    /// Sampling rate in parts per million (0 disables tracing,
+    /// [`SAMPLE_ALL`] traces everything).
+    pub sample_ppm: u32,
+    /// Maximum traces held in memory; the oldest is evicted (and counted
+    /// dropped) when a new document is admitted past this bound.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            sample_ppm: 0,
+            capacity: 4096,
+        }
+    }
+}
+
+/// One stage transition in a document's journey.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceHop {
+    /// Stage name (`collect`, `classify`, `route`, `dedup`, `commit`,
+    /// `probe`, …).
+    pub stage: String,
+    /// Sim-clock tick the hop is attributed to.
+    pub at: u64,
+    /// Attempts the stage's operation took (1 = no retries, 0 = the
+    /// stage has no fault boundary).
+    pub attempts: u32,
+    /// Virtual ticks spent in retry backoff before the stage succeeded.
+    pub delay: u64,
+    /// Circuit-breaker trips this operation caused (0 almost always).
+    pub breaker_trips: u32,
+    /// Free-form detail — shard index, dedup verdict, redacted content
+    /// fingerprint. Never raw document content.
+    pub note: String,
+}
+
+/// One document's journey: a stable id plus its hops in causal order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Trace {
+    /// Seeded trace id, 16 hex digits.
+    pub trace_id: String,
+    /// The document the trace follows.
+    pub doc_id: u64,
+    /// Hops in pipeline order.
+    pub hops: Vec<TraceHop>,
+}
+
+#[derive(Debug)]
+struct TracerCore {
+    seed: u64,
+    sample_ppm: u32,
+    capacity: usize,
+    buffer: Mutex<BTreeMap<u64, Trace>>,
+    dropped: AtomicU64,
+    admitted: AtomicU64,
+}
+
+/// A cheap-to-clone handle to the shared trace buffer.
+///
+/// A disabled tracer ([`Tracer::disabled`], also `Default`) carries no
+/// allocation and makes every recording call a no-op, so pipeline code
+/// can thread a `Tracer` unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer(Option<Arc<TracerCore>>);
+
+impl Tracer {
+    /// A tracer recording into a fresh buffer under `config`.
+    pub fn new(config: TraceConfig) -> Self {
+        Self(Some(Arc::new(TracerCore {
+            seed: config.seed,
+            sample_ppm: config.sample_ppm,
+            capacity: config.capacity.max(1),
+            buffer: Mutex::new(BTreeMap::new()),
+            dropped: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+        })))
+    }
+
+    /// A tracer that records nothing and holds nothing.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Whether any document could be sampled.
+    pub fn enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|c| c.sample_ppm > 0)
+    }
+
+    /// The deterministic sampling decision for `doc_id`.
+    #[inline]
+    pub fn sampled(&self, doc_id: u64) -> bool {
+        match &self.0 {
+            None => false,
+            Some(core) => {
+                core.sample_ppm > 0
+                    && mix(core.seed ^ doc_id) % 1_000_000 < u64::from(core.sample_ppm)
+            }
+        }
+    }
+
+    /// The seeded trace id for `doc_id` (stable across runs and
+    /// topologies).
+    pub fn trace_id(&self, doc_id: u64) -> String {
+        let seed = self.0.as_ref().map_or(0, |c| c.seed);
+        format!("{:016x}", mix(seed ^ mix(doc_id)))
+    }
+
+    /// Admit `doc_id` into the buffer with its first hop, if sampled.
+    ///
+    /// Must be called from the ingest boundary (the collector), which
+    /// processes documents sequentially — that is what makes buffer
+    /// occupancy deterministic. Evicts (and counts) the oldest trace when
+    /// full. Returns whether the document is now traced.
+    pub fn begin(&self, doc_id: u64, hop: TraceHop) -> bool {
+        if !self.sampled(doc_id) {
+            return false;
+        }
+        let Some(core) = &self.0 else { return false };
+        let trace_id = self.trace_id(doc_id);
+        let mut buffer = core.buffer.lock();
+        if buffer.contains_key(&doc_id) {
+            return true;
+        }
+        if buffer.len() >= core.capacity {
+            if let Some(oldest) = buffer.keys().next().copied() {
+                buffer.remove(&oldest);
+                core.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        buffer.insert(
+            doc_id,
+            Trace {
+                trace_id,
+                doc_id,
+                hops: vec![hop],
+            },
+        );
+        core.admitted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Append a hop to `doc_id`'s trace. A no-op for unsampled, evicted,
+    /// or never-admitted documents — recording must never perturb the
+    /// pipeline.
+    #[inline]
+    pub fn hop(&self, doc_id: u64, hop: TraceHop) {
+        let Some(core) = &self.0 else { return };
+        if core.sample_ppm == 0 || !self.sampled(doc_id) {
+            return;
+        }
+        let mut buffer = core.buffer.lock();
+        if let Some(trace) = buffer.get_mut(&doc_id) {
+            trace.hops.push(hop);
+        }
+    }
+
+    /// A hop note for document content: redacted to length + fingerprint
+    /// so PII can never reach an exported trace. This is the only
+    /// sanctioned path from a body/handle into a hop.
+    pub fn content_note(text: &str) -> String {
+        redact(text).to_string()
+    }
+
+    /// Traces admitted over the tracer's lifetime.
+    pub fn admitted(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.admitted.load(Ordering::Relaxed))
+    }
+
+    /// Traces evicted from the bounded buffer (loud-drop accounting).
+    pub fn dropped(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Traces currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.0.as_ref().map_or(0, |c| c.buffer.lock().len())
+    }
+
+    /// The most recent `limit` traces (largest `doc_id`s), oldest first —
+    /// the `GET /traces` payload.
+    pub fn recent(&self, limit: usize) -> Vec<Trace> {
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        let buffer = core.buffer.lock();
+        let skip = buffer.len().saturating_sub(limit);
+        buffer.values().skip(skip).cloned().collect()
+    }
+
+    /// Export every buffered trace as JSONL, one trace per line in
+    /// `doc_id` order. Byte-identical across runs with the same
+    /// `(config, seed, sampling)` once the pipeline has drained.
+    pub fn export_jsonl(&self) -> String {
+        let Some(core) = &self.0 else {
+            return String::new();
+        };
+        let buffer = core.buffer.lock();
+        let mut out = String::new();
+        for trace in buffer.values() {
+            if let Ok(line) = serde_json::to_string(trace) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Shorthand for building a [`TraceHop`] with no fault boundary.
+pub fn hop(stage: &str, at: u64, note: impl Into<String>) -> TraceHop {
+    TraceHop {
+        stage: stage.to_string(),
+        at,
+        attempts: 0,
+        delay: 0,
+        breaker_trips: 0,
+        note: note.into(),
+    }
+}
+
+/// Shorthand for building a [`TraceHop`] at a fault boundary.
+pub fn fault_hop(
+    stage: &str,
+    at: u64,
+    attempts: u32,
+    delay: u64,
+    breaker_trips: u32,
+    note: impl Into<String>,
+) -> TraceHop {
+    TraceHop {
+        stage: stage.to_string(),
+        at,
+        attempts,
+        delay,
+        breaker_trips,
+        note: note.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(seed: u64) -> Tracer {
+        Tracer::new(TraceConfig {
+            seed,
+            sample_ppm: SAMPLE_ALL,
+            capacity: 4096,
+        })
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert!(!t.sampled(7));
+        assert!(!t.begin(7, hop("collect", 0, "")));
+        t.hop(7, hop("classify", 0, ""));
+        assert_eq!(t.export_jsonl(), "");
+        assert_eq!(t.admitted(), 0);
+    }
+
+    #[test]
+    fn zero_ppm_samples_nothing_and_full_ppm_samples_everything() {
+        let off = Tracer::new(TraceConfig {
+            seed: 1,
+            sample_ppm: 0,
+            capacity: 16,
+        });
+        let on = all(1);
+        for doc in 0..200 {
+            assert!(!off.sampled(doc));
+            assert!(on.sampled(doc));
+        }
+    }
+
+    #[test]
+    fn sampling_rate_is_roughly_honored_and_deterministic() {
+        let t = Tracer::new(TraceConfig {
+            seed: 42,
+            sample_ppm: 100_000, // 10%
+            capacity: 16,
+        });
+        let hits = (0..10_000).filter(|&d| t.sampled(d)).count();
+        assert!((700..=1_300).contains(&hits), "10% of 10k docs, got {hits}");
+        let t2 = Tracer::new(TraceConfig {
+            seed: 42,
+            sample_ppm: 100_000,
+            capacity: 16,
+        });
+        for d in 0..10_000 {
+            assert_eq!(t.sampled(d), t2.sampled(d), "doc {d}");
+        }
+    }
+
+    #[test]
+    fn hops_accumulate_in_order() {
+        let t = all(3);
+        assert!(t.begin(5, hop("collect", 100, "src=pastebin")));
+        t.hop(5, hop("classify", 100, "dox"));
+        t.hop(5, fault_hop("probe", 220, 3, 40, 1, "fb"));
+        let traces = t.recent(10);
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.doc_id, 5);
+        assert_eq!(trace.trace_id.len(), 16);
+        let stages: Vec<&str> = trace.hops.iter().map(|h| h.stage.as_str()).collect();
+        assert_eq!(stages, vec!["collect", "classify", "probe"]);
+        assert_eq!(trace.hops[2].attempts, 3);
+        assert_eq!(trace.hops[2].breaker_trips, 1);
+    }
+
+    #[test]
+    fn hop_without_begin_is_dropped() {
+        let t = all(3);
+        t.hop(9, hop("classify", 0, ""));
+        assert_eq!(t.buffered(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_dropped() {
+        let t = Tracer::new(TraceConfig {
+            seed: 0,
+            sample_ppm: SAMPLE_ALL,
+            capacity: 2,
+        });
+        for doc in 1..=4 {
+            assert!(t.begin(doc, hop("collect", doc, "")));
+        }
+        assert_eq!(t.buffered(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.admitted(), 4);
+        let kept: Vec<u64> = t.recent(10).iter().map(|tr| tr.doc_id).collect();
+        assert_eq!(kept, vec![3, 4], "oldest evicted first");
+        // Late hops for an evicted document vanish silently from the
+        // buffer (the eviction itself was counted).
+        t.hop(1, hop("classify", 5, ""));
+        assert_eq!(t.buffered(), 2);
+    }
+
+    #[test]
+    fn export_is_doc_ordered_jsonl() {
+        let t = all(9);
+        for doc in [30u64, 10, 20] {
+            t.begin(doc, hop("collect", doc, ""));
+        }
+        let jsonl = t.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let ids: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let v: serde_json::Value = serde_json::from_str(l).expect("valid JSON");
+                v["doc_id"].as_u64().expect("doc_id")
+            })
+            .collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn export_is_reproducible_for_same_seed_and_differs_across_seeds() {
+        let build = |seed| {
+            let t = all(seed);
+            for doc in 0..50 {
+                t.begin(doc, hop("collect", doc * 7, "src"));
+                t.hop(doc, hop("commit", doc * 7, "seq"));
+            }
+            t.export_jsonl()
+        };
+        assert_eq!(build(11), build(11));
+        assert_ne!(build(11), build(12), "trace ids are seeded");
+    }
+
+    #[test]
+    fn trace_ids_are_stable_per_seed() {
+        let t = all(77);
+        assert_eq!(t.trace_id(1), t.trace_id(1));
+        assert_ne!(t.trace_id(1), t.trace_id(2));
+        assert_eq!(t.trace_id(1), all(77).trace_id(1));
+    }
+
+    #[test]
+    fn content_note_redacts() {
+        let note = Tracer::content_note("john doe lives at 12 main st");
+        assert!(!note.contains("john"), "{note}");
+        assert!(note.contains("redacted"), "{note}");
+    }
+
+    #[test]
+    fn recent_returns_the_tail() {
+        let t = all(0);
+        for doc in 0..10 {
+            t.begin(doc, hop("collect", doc, ""));
+        }
+        let tail: Vec<u64> = t.recent(3).iter().map(|tr| tr.doc_id).collect();
+        assert_eq!(tail, vec![7, 8, 9]);
+    }
+}

@@ -12,11 +12,14 @@ use dox_fault::{
     run_op, BreakerConfig, BreakerSet, CoverageGaps, FaultDomain, FaultPlan, FaultPlanConfig,
     FaultStats, RetryPolicy,
 };
+use dox_obs::trace::{fault_hop, hop};
+use dox_obs::{redact, Histogram, Registry, Tracer};
 use dox_osn::clock::{SimDuration, SimTime};
 use dox_synth::corpus::{CorpusGenerator, Source, SynthDoc};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// One collected document as the pipeline sees it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,6 +80,8 @@ pub struct Collector {
     stats_p1: CollectionStats,
     stats_p2: CollectionStats,
     faults: Option<CollectorFaults>,
+    tracer: Tracer,
+    retry_wait: Option<Histogram>,
     /// Scrape latency added to each document's posting time.
     pub scrape_latency: SimDuration,
 }
@@ -89,8 +94,20 @@ impl Collector {
             stats_p1: CollectionStats::default(),
             stats_p2: CollectionStats::default(),
             faults: None,
+            tracer: Tracer::disabled(),
+            retry_wait: None,
             scrape_latency: SimDuration(5),
         }
+    }
+
+    /// Attach observability: sampled documents are admitted to `tracer`
+    /// with a `collect` hop (the head of their causal trace), and the wall
+    /// time spent inside the retry/backoff shim lands in the registry's
+    /// `pipeline.stage.retry_wait` histogram — the stderr profile row that
+    /// answers "how much time went to fault weather".
+    pub fn instrument(&mut self, registry: &Registry, tracer: &Tracer) {
+        self.retry_wait = Some(registry.histogram("pipeline.stage.retry_wait"));
+        self.tracer = tracer.clone();
     }
 
     /// Create a collector whose fetches run through a fault plan.
@@ -136,11 +153,15 @@ impl Collector {
         };
         let latency = self.scrape_latency;
         let faults = &mut self.faults;
+        let tracer = &self.tracer;
+        let retry_wait = &self.retry_wait;
         gen.generate_period(which, &mut |doc| {
             hub.ingest(&doc);
             let collected_at = doc.posted_at + latency;
             if let Some(f) = faults.as_mut() {
                 let source = doc.source.name();
+                // dox-lint:allow(determinism) wall time inside the backoff shim; profile only
+                let wait_start = Instant::now();
                 let fetched = run_op(
                     &f.plan,
                     &f.policy,
@@ -151,12 +172,45 @@ impl Collector {
                     doc.id,
                     collected_at.0,
                 );
-                if fetched.is_err() {
-                    // The site has the post; the collector missed it. Count
-                    // the gap and move on — the document is not delivered.
-                    f.gaps.record_missed_collection(source);
-                    return ControlFlow::Continue(());
+                if let Some(h) = retry_wait {
+                    h.observe_duration(wait_start.elapsed());
                 }
+                match fetched {
+                    Err(_) => {
+                        // The site has the post; the collector missed it.
+                        // Count the gap and move on — the document is not
+                        // delivered.
+                        f.gaps.record_missed_collection(source);
+                        return ControlFlow::Continue(());
+                    }
+                    Ok(outcome) => {
+                        if tracer.sampled(doc.id) {
+                            // The generator is single-threaded, so trace
+                            // admission order here is exactly document
+                            // order — deterministic buffer occupancy.
+                            tracer.begin(
+                                doc.id,
+                                fault_hop(
+                                    "collect",
+                                    collected_at.0,
+                                    outcome.attempts,
+                                    outcome.delay,
+                                    outcome.breaker_trips,
+                                    format!("source={source} body={}", redact(&doc.body)),
+                                ),
+                            );
+                        }
+                    }
+                }
+            } else if tracer.sampled(doc.id) {
+                tracer.begin(
+                    doc.id,
+                    hop(
+                        "collect",
+                        collected_at.0,
+                        format!("source={} body={}", doc.source.name(), redact(&doc.body)),
+                    ),
+                );
             }
             stats.bump(doc.source);
             sink(CollectedDoc { doc, collected_at })
@@ -348,6 +402,51 @@ mod tests {
             "the sites saw every post even when the collector missed it"
         );
         assert!(collector.fault_stats().exhausted > 0);
+    }
+
+    #[test]
+    fn instrumented_collector_traces_fetches_and_times_the_shim() {
+        use dox_obs::TraceConfig;
+        let (_, _, config) = setup();
+        let plan = FaultPlanConfig {
+            transient_ppm: 300_000,
+            max_transient_failures: 2,
+            ..FaultPlanConfig::default()
+        };
+        let mut collector = Collector::with_faults(
+            9,
+            plan,
+            RetryPolicy::default(),
+            dox_fault::BreakerConfig::default(),
+        );
+        let registry = Registry::new();
+        let tracer = Tracer::new(TraceConfig {
+            seed: 9,
+            sample_ppm: dox_obs::SAMPLE_ALL,
+            capacity: 1 << 20,
+        });
+        collector.instrument(&registry, &tracer);
+        let delivered = collect_all(&mut collector, config).len() as u64;
+        assert_eq!(tracer.admitted(), delivered, "every delivered doc traced");
+        let traces = tracer.recent(usize::MAX);
+        assert!(traces
+            .iter()
+            .all(|t| t.hops.first().is_some_and(|h| h.stage == "collect")));
+        assert!(
+            traces
+                .iter()
+                .any(|t| t.hops.first().is_some_and(|h| h.attempts > 1)),
+            "heavy transient weather must surface retry attempts in hops"
+        );
+        assert!(
+            traces
+                .iter()
+                .all(|t| t.hops.iter().all(|h| h.note.contains("body=[redacted"))),
+            "hop notes carry the redacted fingerprint, never the body"
+        );
+        let shim = registry.snapshot();
+        let retry_wait = &shim.spans["pipeline.stage.retry_wait"];
+        assert_eq!(retry_wait.count, collector.fault_stats().ops);
     }
 
     #[test]

@@ -45,4 +45,8 @@ cargo test --workspace -q
 step "chaos smoke test (SIGKILL mid-ingest, resume, byte-compare)"
 scripts/chaos_smoke.sh
 
+step "trace overhead gate (tracing disabled within 2% of the PR 5 baseline)"
+DOX_BENCH_SAMPLES=7 cargo bench -p dox-bench --bench bench_engine -- --test >/dev/null
+scripts/trace_overhead_gate.sh
+
 printf '\nAll checks passed.\n'

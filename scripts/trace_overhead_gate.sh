@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Trace-overhead gate: with tracing *disabled* the engine must stay
+# within MAX_OVERHEAD_PCT of the pre-tracing (PR 5) throughput — the
+# hot-path cost of a disabled tracer is one relaxed atomic load per
+# stage, and this gate keeps it that way.
+#
+# Reads the "engine w4 s8 trace-off" row of BENCH_engine.json, which
+# `cargo bench -p dox-bench --bench bench_engine` regenerates; that row
+# is timed with the best-of-N statistic (low-noise) for exactly this
+# comparison. The baseline is the PR 5 "engine w4 s8" median recorded
+# on the same container class.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE_DOCS_PER_SEC=57429   # BENCH_engine.json @ PR 5, engine w4 s8
+MAX_OVERHEAD_PCT=2
+
+row=$(grep '"engine w4 s8 trace-off"' BENCH_engine.json) || {
+    echo "no trace-off row in BENCH_engine.json;" \
+         "run: cargo bench -p dox-bench --bench bench_engine -- --test" >&2
+    exit 1
+}
+measured=$(sed -n 's/.*"docs_per_sec": \([0-9][0-9]*\).*/\1/p' <<<"$row")
+if [[ -z "$measured" ]]; then
+    echo "cannot parse docs_per_sec from: $row" >&2
+    exit 1
+fi
+
+awk -v m="$measured" -v b="$BASELINE_DOCS_PER_SEC" -v p="$MAX_OVERHEAD_PCT" 'BEGIN {
+    floor = b * (1 - p / 100);
+    printf "trace-off: %d docs/s; PR 5 baseline: %d docs/s; floor (-%d%%): %.0f docs/s\n",
+           m, b, p, floor;
+    if (m < floor) {
+        print "FAIL: tracing-disabled throughput regressed past the gate";
+        exit 1;
+    }
+    print "OK: tracing disabled is within the overhead budget";
+}'

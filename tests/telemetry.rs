@@ -1,0 +1,78 @@
+//! Live telemetry endpoint, driven the way `repro --telemetry` wires it:
+//! a `Telemetry` server over a study's registry and tracer, scraped with
+//! a plain `std::net::TcpStream` HTTP/1.1 client.
+
+use doxing_repro::core::study::{Study, StudyConfig};
+use doxing_repro::obs::{Registry, Telemetry, SAMPLE_ALL};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Minimal HTTP/1.1 GET; returns the raw response (headers + body).
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to telemetry");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn metrics_and_traces_endpoints_serve_a_finished_study() {
+    let config = StudyConfig::builder()
+        .scale(0.005)
+        .seed(0x7E1E)
+        .trace_sample(SAMPLE_ALL)
+        .build();
+    let registry = Registry::new();
+    let study = Study::with_registry(config, registry.clone());
+    let server = Telemetry::start("127.0.0.1:0", registry, study.tracer().clone())
+        .expect("telemetry binds an ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    study.run().expect("study runs");
+
+    let metrics = http_get(&addr, "/metrics");
+    assert!(
+        metrics.starts_with("HTTP/1.1 200"),
+        "bad /metrics status: {metrics}"
+    );
+    assert!(metrics.contains("application/json"));
+    assert!(
+        metrics.contains("\"snapshot\""),
+        "missing snapshot: {metrics}"
+    );
+    assert!(
+        metrics.contains("pipeline.funnel.collected"),
+        "missing funnel counters"
+    );
+    assert!(metrics.contains("\"rates_per_s\""), "missing rolling rates");
+    assert!(metrics.contains("\"trace\""), "missing trace gauges");
+
+    // A second scrape exercises the rate window (deltas since last scrape).
+    let again = http_get(&addr, "/metrics");
+    assert!(again.starts_with("HTTP/1.1 200"));
+
+    let traces = http_get(&addr, "/traces");
+    assert!(
+        traces.starts_with("HTTP/1.1 200"),
+        "bad /traces status: {traces}"
+    );
+    assert!(traces.contains("\"traces\""));
+    assert!(traces.contains("\"trace_id\""), "no sampled traces served");
+
+    let missing = http_get(&addr, "/nope");
+    assert!(
+        missing.starts_with("HTTP/1.1 404"),
+        "bad 404 status: {missing}"
+    );
+
+    server.stop();
+}
