@@ -80,7 +80,11 @@ impl EngineFixture {
         }
         let engine = builder.build().expect("valid engine config");
         let detector: Arc<dyn DoxDetector> = self.classifier.clone();
-        let mut session = engine.session(detector);
+        let mut session = engine
+            .session_builder()
+            .detector(detector)
+            .start()
+            .expect("detector set");
         for (period, doc) in &self.docs {
             session.ingest(*period, doc.clone()).expect("engine up");
         }
@@ -111,7 +115,13 @@ impl EngineFixture {
             })
         };
         let registry = Registry::new();
-        let mut session = engine.traced_session(detector, &registry, &tracer);
+        let mut session = engine
+            .session_builder()
+            .detector(detector)
+            .registry(&registry)
+            .tracer(&tracer)
+            .start()
+            .expect("detector set");
         for (period, doc) in &self.docs {
             session.ingest(*period, doc.clone()).expect("engine up");
         }
@@ -168,7 +178,12 @@ fn per_stage_rows(fixture: &EngineFixture) -> String {
         .expect("valid engine config");
     let detector: Arc<dyn DoxDetector> = fixture.classifier.clone();
     let registry = Registry::new();
-    let mut session = engine.session_with_registry(detector, &registry);
+    let mut session = engine
+        .session_builder()
+        .detector(detector)
+        .registry(&registry)
+        .start()
+        .expect("detector set");
     for (period, doc) in &fixture.docs {
         session.ingest(*period, doc.clone()).expect("engine up");
     }

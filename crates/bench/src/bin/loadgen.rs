@@ -1,0 +1,470 @@
+//! Load generator for the `dox-serve` service mode.
+//!
+//! Boots the service router in-process on an ephemeral port, creates
+//! N tenants, and drives each over its own raw `TcpStream` with
+//! keep-alive `POST /v1/ingest` batches drawn from the tenant's own
+//! deterministic document stream. Records sustained request and
+//! document throughput, ingest latency quantiles, and *alert lag* —
+//! the wall-clock time from submitting a batch that commits a dox to
+//! that dox being readable on the `GET /v1/alerts` cursor — then
+//! writes `BENCH_serve.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p dox-bench --bin loadgen
+//! DOX_BENCH_SAMPLES=5 cargo run --release -p dox-bench --bin loadgen
+//! ```
+//!
+//! Two auxiliary modes serve `scripts/serve_smoke.sh`, which drives an
+//! *external* `dox-serve` daemon and needs the service and batch sides
+//! derived from the exact same [`TenantSpec`] → `StudyConfig` mapping:
+//!
+//! ```text
+//! loadgen client --addr <host:port> --id t0 --seed 99 [--create]
+//!                [--half first|second] [--report <path>]
+//! loadgen batch --seed 99 --out <path>
+//! ```
+
+use dox_core::study::Study;
+use dox_obs::http::DEFAULT_MAX_BODY;
+use dox_obs::{HttpServer, Registry, Tracer};
+use dox_serve::{router, ServeState, TenantSpec};
+use serde::value::{Number, Value};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Study scale per tenant (matches `bench_engine`'s corpus scale).
+const SCALE: f64 = 0.01;
+/// Documents each tenant ingests per round.
+const DOCS_PER_TENANT: usize = 600;
+/// Documents per `POST /v1/ingest` request.
+const BATCH_DOCS: usize = 30;
+/// HTTP worker threads serving the socket.
+const HTTP_WORKERS: usize = 8;
+/// Tenant counts to sweep (the contended point is the interesting one).
+const TENANT_COUNTS: [usize; 3] = [1, 2, 4];
+/// Engine topology per tenant, fixed for reproducibility.
+const TENANT_WORKERS: usize = 2;
+const TENANT_SHARDS: usize = 8;
+/// Seed for tenant `i` is `BASE_SEED + i`: distinct corpora, distinct
+/// detectors, so tenants do not share any cache-warm state.
+const BASE_SEED: u64 = 40;
+
+fn spec(id: &str, seed: u64) -> TenantSpec {
+    TenantSpec {
+        id: id.to_string(),
+        seed,
+        scale: SCALE,
+        workers: TENANT_WORKERS,
+        shards: TENANT_SHARDS,
+    }
+}
+
+/// Pre-rendered ingest batches for one seed: `(period, docs-as-JSON)`.
+/// Batches never mix periods — `/v1/ingest` takes one period per call.
+fn batches_for_seed(seed: u64) -> Vec<(u8, Vec<Value>)> {
+    let study = Study::with_registry(spec("gen", seed).study_config(), Registry::new());
+    let mut batches: Vec<(u8, Vec<Value>)> = Vec::new();
+    let mut taken = 0usize;
+    study
+        .synthetic_stream(&mut |period, doc| {
+            match batches.last_mut() {
+                Some((p, docs)) if *p == period && docs.len() < BATCH_DOCS => {
+                    docs.push(doc.to_value());
+                }
+                _ => batches.push((period, vec![doc.to_value()])),
+            }
+            taken += 1;
+            if taken >= DOCS_PER_TENANT {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .expect("synthetic stream replays");
+    batches
+}
+
+/// One keep-alive HTTP round trip; returns `(status, body)`.
+fn roundtrip(stream: &mut TcpStream, method: &str, path: &str, payload: &str) -> (u16, String) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .expect("request written");
+    read_response(stream)
+}
+
+/// Read one HTTP/1.1 response off a keep-alive stream: status line,
+/// headers to the blank line, then exactly `Content-Length` body bytes.
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    let header_end = loop {
+        let n = stream.read(&mut byte).expect("response bytes");
+        assert!(n > 0, "server closed mid-response");
+        buf.push(byte[0]);
+        if buf.ends_with(b"\r\n\r\n") {
+            break buf.len();
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("response body");
+    (status, String::from_utf8_lossy(&body).to_string())
+}
+
+/// What one tenant's client thread measured.
+struct ClientStats {
+    ingest_ns: Vec<u64>,
+    alert_lag_ns: Vec<u64>,
+    requests: usize,
+    docs: usize,
+    alerts_seen: u64,
+}
+
+/// Drive one tenant: sequential keep-alive ingest batches, with an
+/// alert-cursor read after every batch that committed something.
+fn drive_tenant(addr: &str, id: &str, batches: &[(u8, Vec<Value>)]) -> ClientStats {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut stats = ClientStats {
+        ingest_ns: Vec::new(),
+        alert_lag_ns: Vec::new(),
+        requests: 0,
+        docs: 0,
+        alerts_seen: 0,
+    };
+    let mut cursor = 0u64;
+    for (period, docs) in batches {
+        let body = serde_json::to_string(&Value::Object(vec![
+            ("tenant".to_string(), Value::String(id.to_string())),
+            (
+                "period".to_string(),
+                Value::Number(Number::U64(u64::from(*period))),
+            ),
+            ("docs".to_string(), Value::Array(docs.clone())),
+        ]))
+        .expect("batch serializes");
+        let sent = Instant::now();
+        let (status, response) = roundtrip(&mut stream, "POST", "/v1/ingest", &body);
+        let ingest_done = sent.elapsed();
+        assert_eq!(status, 200, "ingest failed: {response}");
+        stats.ingest_ns.push(ingest_done.as_nanos() as u64);
+        stats.requests += 1;
+        stats.docs += docs.len();
+
+        let outcome: Value = serde_json::from_str(&response).expect("outcome JSON");
+        let committed = outcome.get("doxes").and_then(Value::as_u64).unwrap_or(0)
+            + outcome
+                .get("duplicates")
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+        if committed > 0 {
+            // Alert lag: submit-to-visible for this batch's doxes.
+            let path = format!("/v1/alerts?tenant={id}&cursor={cursor}");
+            let (status, page) = roundtrip(&mut stream, "GET", &path, "");
+            assert_eq!(status, 200, "alerts failed: {page}");
+            let page: Value = serde_json::from_str(&page).expect("alerts JSON");
+            let next = page.get("cursor").and_then(Value::as_u64).expect("cursor");
+            assert_eq!(
+                next - cursor,
+                committed,
+                "alerts visible immediately after ingest"
+            );
+            stats.alert_lag_ns.push(sent.elapsed().as_nanos() as u64);
+            stats.alerts_seen += committed;
+            cursor = next;
+        }
+    }
+    stats
+}
+
+/// One measured round at a given tenant count: fresh server, fresh
+/// tenants, one client thread per tenant. Returns wall seconds plus
+/// the merged per-thread stats.
+fn run_round(count: usize, batch_sets: &[Vec<(u8, Vec<Value>)>]) -> (f64, Vec<ClientStats>) {
+    let state = Arc::new(ServeState::new(Registry::new()));
+    let server = HttpServer::start(
+        "127.0.0.1:0",
+        router(Arc::clone(&state), &Tracer::disabled()),
+        HTTP_WORKERS,
+        DEFAULT_MAX_BODY,
+    )
+    .expect("server binds");
+    let addr = server.local_addr().to_string();
+
+    // Tenant creation (detector training) happens before the clock.
+    for (i, _) in batch_sets.iter().enumerate().take(count) {
+        let body = serde_json::to_string(&spec(&format!("t{i}"), BASE_SEED + i as u64).to_value())
+            .expect("spec serializes");
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let (status, response) = roundtrip(&mut stream, "POST", "/v1/tenants", &body);
+        assert_eq!(status, 201, "tenant create failed: {response}");
+    }
+
+    let started = Instant::now();
+    let stats: Vec<ClientStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|i| {
+                let addr = addr.clone();
+                let batches = &batch_sets[i];
+                scope.spawn(move || drive_tenant(&addr, &format!("t{i}"), batches))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    server.stop();
+    (seconds, stats)
+}
+
+/// Quantile (by rank) of a sorted nanosecond series, in milliseconds.
+fn quantile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+/// Smoke-mode options shared by `client` and `batch`.
+struct SmokeArgs {
+    addr: String,
+    id: String,
+    seed: u64,
+    scale: f64,
+    create: bool,
+    half: Option<String>,
+    report: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_smoke_args(mut it: std::env::Args) -> SmokeArgs {
+    let mut args = SmokeArgs {
+        addr: "127.0.0.1:9321".to_string(),
+        id: "t0".to_string(),
+        seed: BASE_SEED,
+        scale: SCALE,
+        create: false,
+        half: None,
+        report: None,
+        out: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--id" => args.id = value("--id"),
+            "--seed" => args.seed = value("--seed").parse().expect("u64 seed"),
+            "--scale" => args.scale = value("--scale").parse().expect("f64 scale"),
+            "--create" => args.create = true,
+            "--half" => args.half = Some(value("--half")),
+            "--report" => args.report = Some(value("--report")),
+            "--out" => args.out = Some(value("--out")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args
+}
+
+fn smoke_spec(args: &SmokeArgs) -> TenantSpec {
+    TenantSpec {
+        id: args.id.clone(),
+        seed: args.seed,
+        scale: args.scale,
+        workers: TENANT_WORKERS,
+        shards: TENANT_SHARDS,
+    }
+}
+
+/// Connect with retries so the script can launch the daemon and the
+/// client back to back without racing the bind.
+fn connect_retry(addr: &str) -> TcpStream {
+    for _ in 0..100 {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            stream.set_nodelay(true).expect("nodelay");
+            return stream;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    panic!("cannot connect to dox-serve at {addr}");
+}
+
+/// `client` mode: create/reuse a tenant on a running daemon, ingest the
+/// tenant's own document stream (optionally one half of it), and fetch
+/// `/v1/report`.
+fn run_client(args: &SmokeArgs) {
+    let spec = smoke_spec(args);
+    let mut stream = connect_retry(&args.addr);
+    if args.create {
+        let body = serde_json::to_string(&spec.to_value()).expect("spec serializes");
+        let (status, response) = roundtrip(&mut stream, "POST", "/v1/tenants", &body);
+        assert_eq!(status, 201, "tenant create failed: {response}");
+        eprintln!("loadgen client: created tenant '{}'", spec.id);
+    }
+
+    let all = full_batches(&spec);
+    let split = all.len() / 2;
+    let batches: &[(u8, Vec<Value>)] = match args.half.as_deref() {
+        None => &all,
+        Some("first") => &all[..split],
+        Some("second") => &all[split..],
+        Some(other) => panic!("--half must be first or second, got {other:?}"),
+    };
+    let mut docs = 0usize;
+    for (period, batch) in batches {
+        let body = serde_json::to_string(&Value::Object(vec![
+            ("tenant".to_string(), Value::String(spec.id.clone())),
+            (
+                "period".to_string(),
+                Value::Number(Number::U64(u64::from(*period))),
+            ),
+            ("docs".to_string(), Value::Array(batch.clone())),
+        ]))
+        .expect("batch serializes");
+        let (status, response) = roundtrip(&mut stream, "POST", "/v1/ingest", &body);
+        assert_eq!(status, 200, "ingest failed: {response}");
+        docs += batch.len();
+    }
+    eprintln!(
+        "loadgen client: ingested {docs} documents into '{}'",
+        spec.id
+    );
+
+    if let Some(path) = &args.report {
+        let query = format!("/v1/report?tenant={}", spec.id);
+        let (status, served) = roundtrip(&mut stream, "GET", &query, "");
+        assert_eq!(status, 200, "report failed: {served}");
+        std::fs::write(path, &served).expect("report written");
+        eprintln!("loadgen client: wrote {path}");
+    }
+}
+
+/// `batch` mode: the reference run — same spec-derived config, straight
+/// through [`Study::run`].
+fn run_batch(args: &SmokeArgs) {
+    let spec = smoke_spec(args);
+    let report = Study::new(spec.study_config()).run().expect("batch runs");
+    let json = dox_core::report::to_json(&report).expect("report serializes");
+    let path = args.out.as_deref().expect("batch mode needs --out");
+    std::fs::write(path, &json).expect("report written");
+    eprintln!("loadgen batch: wrote {path}");
+}
+
+/// The tenant's whole two-period stream as period-pure ingest batches.
+fn full_batches(spec: &TenantSpec) -> Vec<(u8, Vec<Value>)> {
+    let study = Study::with_registry(spec.study_config(), Registry::new());
+    let mut batches: Vec<(u8, Vec<Value>)> = Vec::new();
+    study
+        .synthetic_stream(&mut |period, doc| {
+            match batches.last_mut() {
+                Some((p, docs)) if *p == period && docs.len() < BATCH_DOCS => {
+                    docs.push(doc.to_value());
+                }
+                _ => batches.push((period, vec![doc.to_value()])),
+            }
+            ControlFlow::Continue(())
+        })
+        .expect("stream replays");
+    batches
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    match argv.next().as_deref() {
+        Some("client") => return run_client(&parse_smoke_args(argv)),
+        Some("batch") => return run_batch(&parse_smoke_args(argv)),
+        Some(other) => panic!("unknown mode {other:?} (expected client|batch|none)"),
+        None => {}
+    }
+    let samples = std::env::var("DOX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(3);
+
+    let max_tenants = TENANT_COUNTS.iter().copied().max().unwrap_or(1);
+    eprintln!("loadgen: rendering {max_tenants} tenant corpora (scale {SCALE}) ...");
+    let batch_sets: Vec<Vec<(u8, Vec<Value>)>> = (0..max_tenants)
+        .map(|i| batches_for_seed(BASE_SEED + i as u64))
+        .collect();
+
+    let mut entries = Vec::new();
+    for count in TENANT_COUNTS {
+        let mut best_seconds = f64::INFINITY;
+        let mut ingest_ns: Vec<u64> = Vec::new();
+        let mut alert_ns: Vec<u64> = Vec::new();
+        let mut requests = 0usize;
+        let mut docs = 0usize;
+        let mut alerts = 0u64;
+        for sample in 0..samples {
+            let (seconds, stats) = run_round(count, &batch_sets);
+            if seconds < best_seconds {
+                best_seconds = seconds;
+                requests = stats.iter().map(|s| s.requests).sum();
+                docs = stats.iter().map(|s| s.docs).sum();
+                alerts = stats.iter().map(|s| s.alerts_seen).sum();
+            }
+            for s in &stats {
+                ingest_ns.extend_from_slice(&s.ingest_ns);
+                alert_ns.extend_from_slice(&s.alert_lag_ns);
+            }
+            eprintln!(
+                "loadgen: t{count} sample {}/{samples}: {seconds:.3}s",
+                sample + 1
+            );
+        }
+        ingest_ns.sort_unstable();
+        alert_ns.sort_unstable();
+        entries.push(format!(
+            "    {{ \"config\": \"serve t{count}\", \"tenants\": {count}, \"requests\": {requests}, \
+             \"docs\": {docs}, \"alerts\": {alerts}, \"seconds\": {best_seconds:.6}, \
+             \"requests_per_sec\": {:.0}, \"docs_per_sec\": {:.0}, \
+             \"ingest_p50_ms\": {:.3}, \"ingest_p99_ms\": {:.3}, \
+             \"alert_lag_p50_ms\": {:.3}, \"alert_lag_p99_ms\": {:.3} }}",
+            requests as f64 / best_seconds,
+            docs as f64 / best_seconds,
+            quantile_ms(&ingest_ns, 0.50),
+            quantile_ms(&ingest_ns, 0.99),
+            quantile_ms(&alert_ns, 0.50),
+            quantile_ms(&alert_ns, 0.99),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_ingest\",\n  \"scale\": {SCALE},\n  \
+         \"docs_per_tenant\": {DOCS_PER_TENANT},\n  \"batch_docs\": {BATCH_DOCS},\n  \
+         \"http_workers\": {HTTP_WORKERS},\n  \"tenant_topology\": \"w{TENANT_WORKERS} s{TENANT_SHARDS}\",\n  \
+         \"hardware_threads\": {},\n  \"samples\": {samples},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

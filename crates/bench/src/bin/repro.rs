@@ -116,7 +116,20 @@ fn parse_args() -> Result<Args, String> {
                 args.shards = Some(v.parse().map_err(|_| format!("bad shards {v:?}"))?);
             }
             "--reference" => args.reference = true,
-            "--table" => args.table = Some(it.next().ok_or("--table needs a value")?),
+            "--table" => {
+                // Validated here, not after the study runs: a bad id must
+                // fail fast, before the (expensive) run and before the
+                // `--telemetry` startup notice can print on a doomed
+                // invocation.
+                let v = it.next().ok_or("--table needs a value")?;
+                if !TABLE_IDS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown table {v:?} (expected one of: {})",
+                        TABLE_IDS.join(" ")
+                    ));
+                }
+                args.table = Some(v);
+            }
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--metrics" => args.metrics = Some(it.next().ok_or("--metrics needs a path")?),
             "--fault-plan" => {
@@ -151,6 +164,26 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(args)
 }
+
+/// Every `--table` id, in presentation order. `parse_args` rejects
+/// anything else before the study runs.
+const TABLE_IDS: [&str; 15] = [
+    "fig1",
+    "t1",
+    "t2",
+    "t3",
+    "t4",
+    "t5",
+    "t6",
+    "t7",
+    "t8",
+    "t9",
+    "t10",
+    "fig2",
+    "fig3",
+    "v-ip",
+    "v-comments",
+];
 
 const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --scale <0..1]   corpus scale (default 0.05; 1.0 = paper scale)

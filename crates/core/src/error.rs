@@ -30,6 +30,10 @@ pub enum Error {
     },
     /// A checkpoint could not be loaded, validated, or written.
     Checkpoint(String),
+    /// The configuration cannot be hosted as a resident service session
+    /// — e.g. a fault plan, which service-mode report replay cannot
+    /// reproduce deterministically.
+    ServiceMode(String),
 }
 
 /// Convenience alias used by the fallible `dox-core` entry points.
@@ -47,6 +51,7 @@ impl std::fmt::Display for Error {
                 "run halted by the fault plan's kill switch after {docs_ingested} documents"
             ),
             Error::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            Error::ServiceMode(why) => write!(f, "service mode rejected the config: {why}"),
         }
     }
 }
@@ -58,6 +63,7 @@ impl std::error::Error for Error {
             Error::Serialize(e) => Some(e),
             Error::Scrape(e) => Some(e),
             Error::Training(_) | Error::Halted { .. } | Error::Checkpoint(_) => None,
+            Error::ServiceMode(_) => None,
         }
     }
 }
@@ -108,6 +114,13 @@ mod tests {
         assert!(std::error::Error::source(&halted).is_none());
         let ck = Error::Checkpoint("fingerprint mismatch".into());
         assert!(ck.to_string().contains("fingerprint mismatch"));
+    }
+
+    #[test]
+    fn service_mode_errors_render_context() {
+        let err = Error::ServiceMode("fault plans are not supported".into());
+        assert!(err.to_string().contains("fault plans"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]

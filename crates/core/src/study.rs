@@ -334,6 +334,43 @@ struct DoxEvent {
     handles: Vec<(Network, String)>,
 }
 
+/// Record the ground-truth dox event carried by a collected document (if
+/// any). Rebuilt on every pass over the corpus — resume and service-mode
+/// replay regenerate the same events, so the OSN world sees the same
+/// reactions either way.
+fn record_dox_event(events: &mut Vec<DoxEvent>, collected: &dox_sites::collect::CollectedDoc) {
+    if let Some(truth) = collected.doc.truth.as_dox() {
+        if truth.duplicate_of.is_none() {
+            events.push(DoxEvent {
+                posted_at: collected.doc.posted_at,
+                handles: truth.osn_handles.clone(),
+            });
+        }
+    }
+}
+
+/// What phase 2 (labeled data) produces: the trained classifier and the
+/// two evaluation tables derived alongside it.
+struct TrainedStage {
+    classifier: DoxClassifier,
+    summary: ClassifierSummary,
+    extractor_eval: ExtractorEvaluation,
+}
+
+/// Everything phases 4–6 need from the earlier phases: the world, the
+/// post-collection generator and collector state, the recorded
+/// ground-truth events, the evaluation tables and the pipeline output.
+struct AnalysisInputs<'a> {
+    world: &'a World,
+    geoip: &'a GeoIpDb,
+    gen: &'a CorpusGenerator<'a>,
+    collector: &'a Collector,
+    events: &'a [DoxEvent],
+    classifier_summary: ClassifierSummary,
+    extractor_eval: ExtractorEvaluation,
+    output: &'a PipelineOutput,
+}
+
 /// The complete result set — one field per paper table/figure.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentReport {
@@ -504,6 +541,164 @@ impl Study {
         self.run_inner(true)
     }
 
+    /// Phases 1–2: the synthetic world and the trained classifier +
+    /// extractor evaluation. Every entry point — [`Study::run`],
+    /// [`Study::train_detector`], [`Study::report_from_ingest`] — replays
+    /// these phases identically, which is what keeps the corpus stream
+    /// and every downstream table a pure function of `(config, seed)`.
+    fn train_stage(&self, gen: &mut CorpusGenerator<'_>) -> Result<TrainedStage> {
+        let cfg = &self.config;
+        let obs = &self.registry;
+        let phase = StageSpan::enter(obs, "study.phase.training");
+        let (texts, labels) = gen.training_sets();
+        let (classifier, summary) = DoxClassifier::train(&texts, &labels, cfg.seed);
+        obs.events().emit(
+            Level::Info,
+            "study",
+            "classifier trained",
+            vec![
+                ("corpus".into(), texts.len().to_string()),
+                ("dox_f1".into(), format!("{:.3}", summary.report.dox.f1)),
+            ],
+        );
+        let mut extractor_sample = Vec::with_capacity(cfg.extractor_sample);
+        for (doc, persona) in gen.proof_of_work_sample(cfg.extractor_sample) {
+            let truth = doc.truth.as_dox().cloned().ok_or_else(|| {
+                Error::Training(format!("proof-of-work doc {} is not labeled a dox", doc.id))
+            })?;
+            extractor_sample.push((doc.body, truth, persona));
+        }
+        let extractor_eval = evaluate_extractor(&extractor_sample);
+        drop(phase);
+        Ok(TrainedStage {
+            classifier,
+            summary,
+            extractor_eval,
+        })
+    }
+
+    /// Train the study's classifier and hand it back as an engine
+    /// detector, leaving collection to the caller.
+    ///
+    /// This is the service-mode entry point: a resident daemon trains
+    /// once per tenant, feeds the detector to an
+    /// [`Engine::session_builder`](dox_engine::Engine::session_builder)
+    /// session, and streams documents in as they arrive. The training
+    /// replay is identical to what [`Study::run`] performs, so the
+    /// detector classifies exactly as the batch run would.
+    ///
+    /// # Errors
+    /// [`Error::Training`] if the generated proof-of-work corpus violates
+    /// its labeling invariant.
+    pub fn train_detector(&self) -> Result<Arc<dyn DoxDetector>> {
+        let cfg = &self.config;
+        let phase = StageSpan::enter(&self.registry, "study.phase.world_gen");
+        let world = World::generate(&cfg.world, cfg.seed);
+        let alloc = Allocation::generate(&world, &cfg.alloc, cfg.seed);
+        drop(phase);
+        let mut gen = CorpusGenerator::new(&world, &alloc, cfg.synth.clone());
+        let trained = self.train_stage(&mut gen)?;
+        Ok(Arc::new(trained.classifier))
+    }
+
+    /// Build the full [`ExperimentReport`] from a
+    /// [`PipelineOutput`] produced by an externally driven engine session
+    /// (service mode), instead of collecting and ingesting here.
+    ///
+    /// The world, training and ground-truth replay are pure functions of
+    /// `(config, seed)`, so when the session ingested exactly the
+    /// documents the study's collector would have collected — in order —
+    /// the report is byte-identical to [`Study::run`]. Mid-stream
+    /// outputs are also accepted: detection and funnel numbers then
+    /// reflect only what was ingested so far, while ground-truth
+    /// denominators (e.g. `truth_total_doxes`) still describe the whole
+    /// corpus.
+    ///
+    /// # Errors
+    /// [`Error::ServiceMode`] when the config carries a fault plan —
+    /// injected collection faults cannot be replayed here, so resident
+    /// sessions must run fault-free.
+    pub fn report_from_ingest(&self, output: &PipelineOutput) -> Result<ExperimentReport> {
+        let cfg = &self.config;
+        if cfg.faults.is_some() {
+            return Err(Error::ServiceMode(
+                "fault plans are not supported for resident sessions".into(),
+            ));
+        }
+        let phase = StageSpan::enter(&self.registry, "study.phase.world_gen");
+        let world = World::generate(&cfg.world, cfg.seed);
+        let alloc = Allocation::generate(&world, &cfg.alloc, cfg.seed);
+        let geoip = GeoIpDb::build(&world, &alloc);
+        drop(phase);
+        let mut gen = CorpusGenerator::new(&world, &alloc, cfg.synth.clone());
+        let trained = self.train_stage(&mut gen)?;
+
+        // Replay collection without a pipeline behind it: the sink only
+        // records ground-truth events, but the pass still advances the
+        // generator RNG, persona store and site hubs exactly as the batch
+        // run does — the deletion survey and OSN world depend on it.
+        let mut collector = Collector::new(cfg.seed);
+        let mut events: Vec<DoxEvent> = Vec::new();
+        for period in [1u8, 2] {
+            let _ = collector.collect_period(&mut gen, period, &mut |collected| {
+                record_dox_event(&mut events, &collected);
+                ControlFlow::Continue(())
+            });
+        }
+        self.analyze(AnalysisInputs {
+            world: &world,
+            geoip: &geoip,
+            gen: &gen,
+            collector: &collector,
+            events: &events,
+            classifier_summary: trained.summary,
+            extractor_eval: trained.extractor_eval,
+            output,
+        })
+    }
+
+    /// Replay the study's deterministic document stream — the exact
+    /// `(period, document)` sequence [`Study::run`] would ingest — into
+    /// `sink`, without running a pipeline.
+    ///
+    /// This is the client half of service mode: feed the yielded
+    /// documents, in order, to a resident engine session (local or over
+    /// `dox-serve`'s ingest API) and ask [`Study::report_from_ingest`]
+    /// for the report; the result is byte-identical to [`Study::run`].
+    /// Returning [`ControlFlow::Break`] from `sink` stops the replay
+    /// early.
+    ///
+    /// # Errors
+    /// [`Error::ServiceMode`] when the config carries a fault plan, and
+    /// [`Error::Training`] if the proof-of-work replay fails its
+    /// labeling invariant.
+    pub fn synthetic_stream(
+        &self,
+        sink: &mut dyn FnMut(u8, dox_sites::collect::CollectedDoc) -> ControlFlow<()>,
+    ) -> Result<()> {
+        let cfg = &self.config;
+        if cfg.faults.is_some() {
+            return Err(Error::ServiceMode(
+                "fault plans are not supported for resident sessions".into(),
+            ));
+        }
+        let world = World::generate(&cfg.world, cfg.seed);
+        let alloc = Allocation::generate(&world, &cfg.alloc, cfg.seed);
+        let mut gen = CorpusGenerator::new(&world, &alloc, cfg.synth.clone());
+        // Advance the generator through training exactly as run() does —
+        // the corpus stream is a pure function of the whole call sequence.
+        self.train_stage(&mut gen)?;
+        let mut collector = Collector::new(cfg.seed);
+        for period in [1u8, 2] {
+            let flow = collector
+                .collect_period(&mut gen, period, &mut |collected| sink(period, collected));
+            if flow == ControlFlow::Break(()) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
     fn run_inner(&self, reference: bool) -> Result<ExperimentReport> {
         let cfg = &self.config;
         let seed = cfg.seed;
@@ -517,31 +712,12 @@ impl Study {
         drop(phase);
 
         // 2. Labeled data: classifier + extractor evaluation.
-        let phase = StageSpan::enter(obs, "study.phase.training");
         let mut gen = CorpusGenerator::new(&world, &alloc, cfg.synth.clone());
-        let (texts, labels) = gen.training_sets();
-        let (classifier, classifier_summary) = DoxClassifier::train(&texts, &labels, seed);
-        obs.events().emit(
-            Level::Info,
-            "study",
-            "classifier trained",
-            vec![
-                ("corpus".into(), texts.len().to_string()),
-                (
-                    "dox_f1".into(),
-                    format!("{:.3}", classifier_summary.report.dox.f1),
-                ),
-            ],
-        );
-        let mut extractor_sample = Vec::with_capacity(cfg.extractor_sample);
-        for (doc, persona) in gen.proof_of_work_sample(cfg.extractor_sample) {
-            let truth = doc.truth.as_dox().cloned().ok_or_else(|| {
-                Error::Training(format!("proof-of-work doc {} is not labeled a dox", doc.id))
-            })?;
-            extractor_sample.push((doc.body, truth, persona));
-        }
-        let extractor_eval = evaluate_extractor(&extractor_sample);
-        drop(phase);
+        let TrainedStage {
+            classifier,
+            summary: classifier_summary,
+            extractor_eval,
+        } = self.train_stage(&mut gen)?;
 
         // 3. Collection + pipeline, recording ground-truth dox events.
         // The streaming engine fans the pure classify/extract work over
@@ -556,17 +732,6 @@ impl Study {
         // sequential collection boundary — the head of every causal trace.
         collector.instrument(obs, &self.tracer);
         let mut events: Vec<DoxEvent> = Vec::new();
-        let record_event =
-            |events: &mut Vec<DoxEvent>, collected: &dox_sites::collect::CollectedDoc| {
-                if let Some(truth) = collected.doc.truth.as_dox() {
-                    if truth.duplicate_of.is_none() {
-                        events.push(DoxEvent {
-                            posted_at: collected.doc.posted_at,
-                            handles: truth.osn_handles.clone(),
-                        });
-                    }
-                }
-            };
         let output: PipelineOutput = if reference {
             let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
             obs.gauge("pipeline.batch.threads")
@@ -576,7 +741,7 @@ impl Study {
             for period in [1u8, 2] {
                 let mut batch: Vec<dox_sites::collect::CollectedDoc> = Vec::with_capacity(BATCH);
                 let _ = collector.collect_period(&mut gen, period, &mut |collected| {
-                    record_event(&mut events, &collected);
+                    record_dox_event(&mut events, &collected);
                     batch.push(collected);
                     if batch.len() >= BATCH {
                         pipeline.process_batch(&batch, period, threads);
@@ -637,13 +802,24 @@ impl Study {
                     "resuming from checkpoint",
                     vec![("docs_ingested".into(), skip.to_string())],
                 );
-                engine.resume_traced_session(detector, obs, &self.tracer, loaded.session)?
+                engine
+                    .session_builder()
+                    .detector(detector)
+                    .registry(obs)
+                    .tracer(&self.tracer)
+                    .resume_from(loaded.session)
+                    .start()?
             } else {
                 if let Some(dir) = &cfg.durability.checkpoint_dir {
                     std::fs::create_dir_all(dir)
                         .map_err(|e| Error::Checkpoint(format!("create {}: {e}", dir.display())))?;
                 }
-                engine.traced_session(detector, obs, &self.tracer)
+                engine
+                    .session_builder()
+                    .detector(detector)
+                    .registry(obs)
+                    .tracer(&self.tracer)
+                    .start()?
             };
 
             let mut delivered: u64 = 0;
@@ -654,7 +830,7 @@ impl Study {
                     // Ground-truth dox events are rebuilt on every pass —
                     // resume replays generation, so the OSN world sees the
                     // same reactions either way.
-                    record_event(&mut events, &collected);
+                    record_dox_event(&mut events, &collected);
                     delivered += 1;
                     if delivered <= skip {
                         return ControlFlow::Continue(());
@@ -728,6 +904,39 @@ impl Study {
         );
         drop(phase);
 
+        self.analyze(AnalysisInputs {
+            world: &world,
+            geoip: &geoip,
+            gen: &gen,
+            collector: &collector,
+            events: &events,
+            classifier_summary,
+            extractor_eval,
+            output: &output,
+        })
+    }
+
+    /// Phases 4–6: realize the OSN world from the recorded ground-truth
+    /// events, monitor every referenced account, and run every analysis
+    /// into the final report. Pure with respect to *how* the
+    /// [`PipelineOutput`] was produced — batch ingest ([`Study::run`])
+    /// and service-mode ingest ([`Study::report_from_ingest`]) of the
+    /// same document stream yield byte-identical reports.
+    fn analyze(&self, inputs: AnalysisInputs<'_>) -> Result<ExperimentReport> {
+        let AnalysisInputs {
+            world,
+            geoip,
+            gen,
+            collector,
+            events,
+            classifier_summary,
+            extractor_eval,
+            output,
+        } = inputs;
+        let cfg = &self.config;
+        let seed = cfg.seed;
+        let obs = &self.registry;
+
         // 4. The OSN world.
         let phase = StageSpan::enter(obs, "study.phase.osn_world");
         let periods = StudyPeriods::paper();
@@ -760,7 +969,7 @@ impl Study {
             }
         }
         // Victim reactions fire at ground-truth dox posting times.
-        for event in &events {
+        for event in events {
             for (network, handle) in &event.handles {
                 if let Some(id) = osn.resolve(*network, handle) {
                     osn.notify_doxed(id, event.posted_at);
@@ -948,8 +1157,7 @@ impl Study {
             })
             .into();
 
-        let ip_validation =
-            validate_by_ip(detected, &world, &geoip, cfg.ip_validation_sample, seed);
+        let ip_validation = validate_by_ip(detected, world, geoip, cfg.ip_validation_sample, seed);
         drop(phase);
 
         // Coverage gaps: everything the fault plan cost us, explicitly.
@@ -1038,6 +1246,56 @@ mod tests {
                 .run()
                 .expect("test-scale study runs")
         })
+    }
+
+    #[test]
+    fn report_from_ingest_matches_batch_run() {
+        // Drive the engine externally — the way dox-serve hosts a
+        // resident session — and ask for the report afterwards. It must
+        // match the batch run byte for byte.
+        let registry = Registry::new();
+        let study = Study::with_registry(StudyConfig::test_scale(), registry.clone());
+        let detector = study.train_detector().expect("detector trains");
+        let engine =
+            Engine::from_config(study.config().engine.clone()).expect("valid engine config");
+        let mut session = engine
+            .session_builder()
+            .detector(detector)
+            .registry(&registry)
+            .start()
+            .expect("session starts");
+        let mut ingest_err = None;
+        study
+            .synthetic_stream(&mut |period, doc| {
+                if let Err(e) = session.ingest(period, doc) {
+                    ingest_err = Some(e);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            })
+            .expect("stream replays");
+        assert!(ingest_err.is_none(), "{ingest_err:?}");
+        let output = session.finish().expect("engine drains");
+        let service = study.report_from_ingest(&output).expect("service report");
+        let batch = report();
+        assert_eq!(
+            serde_json::to_string(&service).expect("serializes"),
+            serde_json::to_string(batch).expect("serializes"),
+            "service-mode report must be byte-identical to the batch run"
+        );
+    }
+
+    #[test]
+    fn report_from_ingest_rejects_fault_plans() {
+        let config = StudyConfig::builder()
+            .scale(0.005)
+            .faults(FaultPlanConfig::default())
+            .build();
+        let study = Study::with_registry(config, Registry::new());
+        let err = study
+            .report_from_ingest(&PipelineOutput::default())
+            .expect_err("fault plans must be rejected");
+        assert!(matches!(err, Error::ServiceMode(_)), "{err}");
     }
 
     #[test]

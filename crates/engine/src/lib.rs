@@ -24,7 +24,11 @@
 //!
 //! let engine = Engine::builder().workers(2).shards(4).build()?;
 //! let registry = dox_obs::Registry::new();
-//! let mut session = engine.session_with_registry(Arc::new(Keyword), &registry);
+//! let mut session = engine
+//!     .session_builder()
+//!     .detector(Arc::new(Keyword))
+//!     .registry(&registry)
+//!     .start()?;
 //! // session.ingest(period, collected_doc)? for every document…
 //! let output = session.finish()?;
 //! assert_eq!(output.counters().total, 0);
@@ -39,9 +43,10 @@
 //!
 //! An engine built with [`EngineBuilder::faults`] injects deterministic
 //! stage faults from a [`dox_fault::FaultPlanConfig`] — slow and poisoned
-//! chunks — and [`Session::checkpoint`] plus [`Engine::resume_session`]
-//! make a killed run resumable with byte-identical output. See the
-//! [`session`] and [`checkpoint`] module docs.
+//! chunks — and [`Session::checkpoint`] plus
+//! [`SessionBuilder::resume_from`] make a killed run resumable with
+//! byte-identical output. See the [`session`] and [`checkpoint`] module
+//! docs.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -117,6 +122,9 @@ pub enum EngineError {
     },
     /// The pipeline failed to quiesce within the checkpoint deadline.
     CheckpointStalled,
+    /// [`SessionBuilder::start`] was called without a detector — there is
+    /// no default classifier, so the session could never label anything.
+    MissingDetector,
 }
 
 impl std::fmt::Display for EngineError {
@@ -137,6 +145,9 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::CheckpointStalled => {
                 write!(f, "engine failed to quiesce within the checkpoint deadline")
+            }
+            EngineError::MissingDetector => {
+                write!(f, "session builder needs a detector before start()")
             }
         }
     }
@@ -308,14 +319,53 @@ impl Engine {
         &self.config
     }
 
+    /// Start configuring a [`Session`] on this engine. The one way to
+    /// start sessions: pick a detector (required), then optionally an
+    /// isolated registry, a tracer, and a checkpoint to resume from.
+    ///
+    /// ```
+    /// # use dox_engine::{DoxDetector, Engine};
+    /// # use std::sync::Arc;
+    /// # struct Keyword;
+    /// # impl DoxDetector for Keyword {
+    /// #     fn is_dox(&self, text: &str) -> bool { text.contains("dox") }
+    /// # }
+    /// let engine = Engine::builder().workers(1).build()?;
+    /// let registry = dox_obs::Registry::new();
+    /// let session = engine
+    ///     .session_builder()
+    ///     .detector(Arc::new(Keyword))
+    ///     .registry(&registry)
+    ///     .start()?;
+    /// drop(session);
+    /// # Ok::<(), dox_engine::EngineError>(())
+    /// ```
+    pub fn session_builder(&self) -> SessionBuilder<'_> {
+        SessionBuilder {
+            engine: self,
+            detector: None,
+            registry: None,
+            tracer: None,
+            resume_from: None,
+        }
+    }
+
     /// Start a session reporting into the process-global metrics
     /// registry.
+    #[deprecated(note = "use Engine::session_builder().detector(..).start()")]
     pub fn session(&self, classifier: Arc<dyn DoxDetector>) -> Session {
-        self.session_with_registry(classifier, dox_obs::global())
+        Session::spawn(
+            &self.config,
+            classifier,
+            dox_obs::global(),
+            &Tracer::disabled(),
+            None,
+        )
     }
 
     /// Start a session reporting into an explicit registry (tests and
     /// side-by-side runs want isolated metrics).
+    #[deprecated(note = "use Engine::session_builder().detector(..).registry(..).start()")]
     pub fn session_with_registry(
         &self,
         classifier: Arc<dyn DoxDetector>,
@@ -333,6 +383,9 @@ impl Engine {
     /// Start a session that additionally records causal trace hops for
     /// sampled documents into the given [`Tracer`]. Tracing is pure
     /// observation: output stays byte-identical to an untraced session.
+    #[deprecated(
+        note = "use Engine::session_builder().detector(..).registry(..).tracer(..).start()"
+    )]
     pub fn traced_session(
         &self,
         classifier: Arc<dyn DoxDetector>,
@@ -345,27 +398,51 @@ impl Engine {
     /// Resume a session from a checkpoint, reporting into the
     /// process-global metrics registry. The checkpoint must have been
     /// taken under the same shard count; workers may differ freely.
+    ///
+    /// # Errors
+    /// [`EngineError::CheckpointShardMismatch`] when the checkpoint's
+    /// shard count differs from the engine's.
+    #[deprecated(note = "use Engine::session_builder().detector(..).resume_from(..).start()")]
     pub fn resume_session(
         &self,
         classifier: Arc<dyn DoxDetector>,
         checkpoint: SessionCheckpoint,
     ) -> Result<Session, EngineError> {
-        self.resume_session_with_registry(classifier, dox_obs::global(), checkpoint)
+        self.session_builder()
+            .detector(classifier)
+            .resume_from(checkpoint)
+            .start()
     }
 
     /// Resume a session from a checkpoint into an explicit registry.
+    ///
+    /// # Errors
+    /// [`EngineError::CheckpointShardMismatch`] when the checkpoint's
+    /// shard count differs from the engine's.
+    #[deprecated(
+        note = "use Engine::session_builder().detector(..).registry(..).resume_from(..).start()"
+    )]
     pub fn resume_session_with_registry(
         &self,
         classifier: Arc<dyn DoxDetector>,
         registry: &Registry,
         checkpoint: SessionCheckpoint,
     ) -> Result<Session, EngineError> {
-        self.resume_traced_session(classifier, registry, &Tracer::disabled(), checkpoint)
+        self.session_builder()
+            .detector(classifier)
+            .registry(registry)
+            .resume_from(checkpoint)
+            .start()
     }
 
-    /// Resume a session from a checkpoint with causal tracing attached —
-    /// the traced counterpart of
-    /// [`resume_session_with_registry`](Engine::resume_session_with_registry).
+    /// Resume a session from a checkpoint with causal tracing attached.
+    ///
+    /// # Errors
+    /// [`EngineError::CheckpointShardMismatch`] when the checkpoint's
+    /// shard count differs from the engine's.
+    #[deprecated(
+        note = "use Engine::session_builder().detector(..).registry(..).tracer(..).resume_from(..).start()"
+    )]
     pub fn resume_traced_session(
         &self,
         classifier: Arc<dyn DoxDetector>,
@@ -373,18 +450,120 @@ impl Engine {
         tracer: &Tracer,
         checkpoint: SessionCheckpoint,
     ) -> Result<Session, EngineError> {
-        if checkpoint.shards != self.config.shards {
-            return Err(EngineError::CheckpointShardMismatch {
-                expected: self.config.shards,
-                found: checkpoint.shards,
-            });
+        self.session_builder()
+            .detector(classifier)
+            .registry(registry)
+            .tracer(tracer)
+            .resume_from(checkpoint)
+            .start()
+    }
+}
+
+/// One-stop configuration for starting a [`Session`], obtained from
+/// [`Engine::session_builder`]. Replaces the former six
+/// `Engine::{session, session_with_registry, traced_session,
+/// resume_session, resume_session_with_registry, resume_traced_session}`
+/// constructors with a single typed surface:
+///
+/// * [`detector`](SessionBuilder::detector) — **required**; the trained
+///   (or stub) classifier the stage workers call.
+/// * [`registry`](SessionBuilder::registry) — optional; defaults to the
+///   process-global metrics registry.
+/// * [`tracer`](SessionBuilder::tracer) — optional; defaults to a
+///   disabled tracer (no causal hops recorded).
+/// * [`resume_from`](SessionBuilder::resume_from) — optional; restores a
+///   [`SessionCheckpoint`] instead of starting empty.
+///
+/// Invalid combinations surface as typed [`EngineError`]s from
+/// [`start`](SessionBuilder::start) rather than panics: a missing
+/// detector is [`EngineError::MissingDetector`], a checkpoint taken under
+/// a different shard count is
+/// [`EngineError::CheckpointShardMismatch`].
+#[must_use = "builders do nothing until start() is called"]
+pub struct SessionBuilder<'e> {
+    engine: &'e Engine,
+    detector: Option<Arc<dyn DoxDetector>>,
+    registry: Option<Registry>,
+    tracer: Option<Tracer>,
+    resume_from: Option<SessionCheckpoint>,
+}
+
+impl std::fmt::Debug for SessionBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("engine", self.engine)
+            .field("detector", &self.detector.is_some())
+            .field("registry", &self.registry.is_some())
+            .field("tracer", &self.tracer.is_some())
+            .field("resume_from", &self.resume_from.is_some())
+            .finish()
+    }
+}
+
+impl SessionBuilder<'_> {
+    /// Set the classifier the stage workers consult (required).
+    pub fn detector(mut self, detector: Arc<dyn DoxDetector>) -> Self {
+        self.detector = Some(detector);
+        self
+    }
+
+    /// Report metrics into an explicit registry instead of the
+    /// process-global one (tests and side-by-side runs want isolation).
+    pub fn registry(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Record causal trace hops for sampled documents into the given
+    /// [`Tracer`]. Tracing is pure observation: output stays
+    /// byte-identical to an untraced session.
+    pub fn tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Restore the session from a checkpoint instead of starting empty.
+    /// The checkpoint must have been taken under the same shard count;
+    /// workers may differ freely.
+    pub fn resume_from(mut self, checkpoint: SessionCheckpoint) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
+
+    /// Validate the combination and spawn the session threads.
+    ///
+    /// # Errors
+    /// * [`EngineError::MissingDetector`] when no detector was set.
+    /// * [`EngineError::CheckpointShardMismatch`] when resuming a
+    ///   checkpoint taken under a different dedup shard count.
+    pub fn start(self) -> Result<Session, EngineError> {
+        let detector = self.detector.ok_or(EngineError::MissingDetector)?;
+        if let Some(checkpoint) = &self.resume_from {
+            if checkpoint.shards != self.engine.config.shards {
+                return Err(EngineError::CheckpointShardMismatch {
+                    expected: self.engine.config.shards,
+                    found: checkpoint.shards,
+                });
+            }
         }
+        let disabled;
+        let tracer = match &self.tracer {
+            Some(tracer) => tracer,
+            None => {
+                disabled = Tracer::disabled();
+                &disabled
+            }
+        };
+        let registry = match &self.registry {
+            Some(registry) => registry,
+            None => dox_obs::global(),
+        };
         Ok(Session::spawn(
-            &self.config,
-            classifier,
+            &self.engine.config,
+            detector,
             registry,
             tracer,
-            Some(checkpoint),
+            self.resume_from,
         ))
     }
 }
@@ -426,6 +605,81 @@ mod tests {
         let engine = Engine::builder().build().expect("defaults valid");
         assert!(engine.config().workers >= 1);
         assert!(engine.config().queue_depth >= 1);
+    }
+
+    #[test]
+    fn session_builder_requires_a_detector() {
+        let engine = Engine::builder().workers(1).build().expect("valid");
+        let err = engine
+            .session_builder()
+            .start()
+            .err()
+            .expect("missing detector must be rejected");
+        assert_eq!(err, EngineError::MissingDetector);
+        assert!(err.to_string().contains("detector"));
+    }
+
+    #[test]
+    fn session_builder_rejects_shard_mismatched_resume() {
+        struct Never;
+        impl DoxDetector for Never {
+            fn is_dox(&self, _text: &str) -> bool {
+                false
+            }
+        }
+        let engine = Engine::builder()
+            .workers(1)
+            .shards(8)
+            .build()
+            .expect("valid");
+        let registry = Registry::new();
+        let mut session = engine
+            .session_builder()
+            .detector(Arc::new(Never))
+            .registry(&registry)
+            .start()
+            .expect("detector set");
+        let checkpoint = session.checkpoint().expect("quiescent checkpoint");
+        session.finish().expect("clean finish");
+
+        let narrower = Engine::builder()
+            .workers(1)
+            .shards(4)
+            .build()
+            .expect("valid");
+        let err = narrower
+            .session_builder()
+            .detector(Arc::new(Never))
+            .registry(&registry)
+            .resume_from(checkpoint)
+            .start()
+            .err()
+            .expect("shard mismatch must be rejected");
+        assert_eq!(
+            err,
+            EngineError::CheckpointShardMismatch {
+                expected: 4,
+                found: 8
+            }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_start_sessions() {
+        struct Never;
+        impl DoxDetector for Never {
+            fn is_dox(&self, _text: &str) -> bool {
+                false
+            }
+        }
+        let engine = Engine::builder().workers(1).build().expect("valid");
+        let registry = Registry::new();
+        let output = engine
+            .session_with_registry(Arc::new(Never), &registry)
+            .finish()
+            .expect("clean finish");
+        assert_eq!(output.counters().total, 0);
     }
 
     #[test]

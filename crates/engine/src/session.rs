@@ -188,13 +188,20 @@ fn stage_failed(stage: &'static str) -> impl FnOnce(Box<dyn std::any::Any + Send
 
 /// A running ingest session.
 ///
-/// Created by [`Engine::session`](crate::Engine::session); feed it with
-/// [`ingest`](Session::ingest) and close it with
+/// Created by [`Engine::session_builder`](crate::Engine::session_builder);
+/// feed it with [`ingest`](Session::ingest) and close it with
 /// [`finish`](Session::finish). The calling thread is the producer: when
 /// the work queue is full, `ingest` blocks — that backpressure is what
 /// bounds memory to roughly `queue_depth × chunk` documents regardless of
 /// corpus size. [`checkpoint`](Session::checkpoint) captures a resumable
 /// snapshot mid-stream.
+///
+/// For resident (service-mode) sessions that never `finish`,
+/// [`flush`](Session::flush) forces everything ingested so far through
+/// the pipeline, and [`committed_len`](Session::committed_len) /
+/// [`detected_since`](Session::detected_since) /
+/// [`output_snapshot`](Session::output_snapshot) observe the committed
+/// state without closing the stream.
 pub struct Session {
     chunk: usize,
     shards: usize,
@@ -722,42 +729,105 @@ impl Session {
             || self.committer.as_ref().is_some_and(JoinHandle::is_finished)
     }
 
+    /// Block until the pipeline is quiescent: every dispatched chunk
+    /// routed, every routed dox committed. Both reorder buffers are
+    /// provably empty at that point.
+    fn wait_quiescent(&self) -> Result<(), EngineError> {
+        let target_chunks = self.next_chunk_seq;
+        // dox-lint:allow(determinism) wall-clock deadline guards liveness of the wait only; it never shapes results
+        let deadline = Instant::now() + QUIESCE_TIMEOUT;
+        let mut progress = lock(&self.shared.progress);
+        loop {
+            if progress.chunks_routed == target_chunks
+                && progress.doxes_committed == progress.doxes_routed
+            {
+                return Ok(());
+            }
+            if self.any_thread_dead() {
+                return Err(EngineError::Disconnected);
+            }
+            // dox-lint:allow(determinism) liveness deadline, see above
+            if Instant::now() >= deadline {
+                return Err(EngineError::CheckpointStalled);
+            }
+            let (guard, _) = self
+                .shared
+                .quiesced
+                .wait_timeout(progress, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            progress = guard;
+        }
+    }
+
+    /// Push everything ingested so far through the pipeline and wait for
+    /// it to commit. On return, [`committed_len`](Session::committed_len)
+    /// and [`detected_since`](Session::detected_since) reflect every
+    /// document handed to [`ingest`](Session::ingest) before this call.
+    ///
+    /// This is the service-mode heartbeat: a daemon answering "what did
+    /// that batch contain?" flushes, then reads the committed log. The
+    /// flush dispatches a partial chunk, which never affects results —
+    /// chunk boundaries are invisible to the commit protocol.
+    ///
+    /// # Errors
+    /// [`EngineError::Disconnected`] if an engine thread died, or
+    /// [`EngineError::CheckpointStalled`] if the pipeline failed to
+    /// drain within the quiesce deadline.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        self.dispatch()?;
+        self.wait_quiescent()
+    }
+
+    /// How many classified doxes have been committed so far (unique and
+    /// duplicate alike). Use as the cursor for
+    /// [`detected_since`](Session::detected_since). Monotonic; resumed
+    /// sessions count their restored log too.
+    pub fn committed_len(&self) -> usize {
+        lock(&self.shared.committer).detected.len()
+    }
+
+    /// Clone the committed detected-dox log from `since` (a previous
+    /// [`committed_len`](Session::committed_len) reading) onward. Call
+    /// after [`flush`](Session::flush) for a stable read; between flushes
+    /// the log only ever grows, so a cursor never skips entries.
+    pub fn detected_since(&self, since: usize) -> Vec<DetectedDox> {
+        let committer = lock(&self.shared.committer);
+        committer.detected.get(since..).unwrap_or_default().to_vec()
+    }
+
+    /// Flush, then clone the full [`PipelineOutput`] as of everything
+    /// ingested so far — the live-session counterpart of
+    /// [`finish`](Session::finish), leaving the stream open. The clone is
+    /// byte-identical to what `finish` would return right now.
+    ///
+    /// # Errors
+    /// Propagates [`flush`](Session::flush) errors.
+    pub fn output_snapshot(&mut self) -> Result<PipelineOutput, EngineError> {
+        self.flush()?;
+        let router = lock(&self.shared.router);
+        let committer = lock(&self.shared.committer);
+        let mut counters = router.counters.clone();
+        counters.absorb(&committer.counters);
+        Ok(PipelineOutput {
+            detected: committer.detected.clone(),
+            counters,
+            dox_ids: router.dox_ids.clone(),
+            stage_gap_docs: router.stage_gap_docs,
+        })
+    }
+
     /// Capture a resumable snapshot of the session without closing it.
     ///
     /// Flushes the buffered partial chunk (chunk boundaries never affect
     /// results), waits for the pipeline to quiesce, then snapshots every
     /// stateful stage. Feed the snapshot to
-    /// [`Engine::resume_session`](crate::Engine::resume_session) to
-    /// continue the stream in a later process; replaying the remaining
+    /// [`SessionBuilder::resume_from`](crate::SessionBuilder::resume_from)
+    /// to continue the stream in a later process; replaying the remaining
     /// documents yields output byte-identical to the uninterrupted run.
     pub fn checkpoint(&mut self) -> Result<SessionCheckpoint, EngineError> {
         self.dispatch()?;
         let target_chunks = self.next_chunk_seq;
-        // dox-lint:allow(determinism) wall-clock deadline guards liveness of the wait only; it never shapes results
-        let deadline = Instant::now() + QUIESCE_TIMEOUT;
-        {
-            let mut progress = lock(&self.shared.progress);
-            loop {
-                if progress.chunks_routed == target_chunks
-                    && progress.doxes_committed == progress.doxes_routed
-                {
-                    break;
-                }
-                if self.any_thread_dead() {
-                    return Err(EngineError::Disconnected);
-                }
-                // dox-lint:allow(determinism) liveness deadline, see above
-                if Instant::now() >= deadline {
-                    return Err(EngineError::CheckpointStalled);
-                }
-                let (guard, _) = self
-                    .shared
-                    .quiesced
-                    .wait_timeout(progress, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner);
-                progress = guard;
-            }
-        }
+        self.wait_quiescent()?;
         let router = lock(&self.shared.router);
         let committer = lock(&self.shared.committer);
         Ok(SessionCheckpoint {
@@ -847,6 +917,16 @@ mod tests {
         }
     }
 
+    /// Start a keyword-detector session on an isolated registry.
+    fn start(engine: &Engine, registry: &Registry) -> Session {
+        engine
+            .session_builder()
+            .detector(Arc::new(KeywordDetector))
+            .registry(registry)
+            .start()
+            .expect("detector set")
+    }
+
     fn doc(id: u64, body: &str) -> CollectedDoc {
         CollectedDoc {
             doc: SynthDoc {
@@ -932,7 +1012,7 @@ mod tests {
             .build()
             .expect("valid config");
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         for (period, doc) in corpus() {
             session.ingest(period, doc).expect("period is valid");
         }
@@ -965,7 +1045,7 @@ mod tests {
     fn invalid_period_is_rejected_without_killing_the_session() {
         let engine = Engine::builder().build().expect("default config");
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         assert_eq!(
             session.ingest(3, doc(1, "x")),
             Err(EngineError::InvalidPeriod(3))
@@ -981,7 +1061,7 @@ mod tests {
     fn funnel_metrics_are_recorded() {
         let engine = Engine::builder().workers(2).shards(2).build().unwrap();
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         for (period, doc) in corpus() {
             session.ingest(period, doc).unwrap();
         }
@@ -1007,7 +1087,7 @@ mod tests {
     fn dropping_a_session_does_not_hang() {
         let engine = Engine::builder().workers(2).build().unwrap();
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         session.ingest(1, doc(1, "a dox fb: someone")).unwrap();
         drop(session);
     }
@@ -1026,7 +1106,7 @@ mod tests {
                     .expect("valid config")
             };
             let registry = Registry::new();
-            let mut first = build().session_with_registry(Arc::new(KeywordDetector), &registry);
+            let mut first = start(&build(), &registry);
             let docs = corpus();
             let cut = 97; // mid-chunk on purpose
             for (period, doc) in &docs[..cut] {
@@ -1039,7 +1119,11 @@ mod tests {
             let parsed = serde_json::from_str(&json).expect("parses");
             let registry = Registry::new();
             let mut resumed = build()
-                .resume_session_with_registry(Arc::new(KeywordDetector), &registry, parsed)
+                .session_builder()
+                .detector(Arc::new(KeywordDetector))
+                .registry(&registry)
+                .resume_from(parsed)
+                .start()
                 .expect("shard counts match");
             for (period, doc) in &docs[cut..] {
                 resumed.ingest(*period, doc.clone()).expect("valid");
@@ -1061,7 +1145,7 @@ mod tests {
             .build()
             .unwrap();
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         for (i, (period, doc)) in corpus().into_iter().enumerate() {
             session.ingest(period, doc).unwrap();
             if i % 64 == 63 {
@@ -1073,6 +1157,42 @@ mod tests {
     }
 
     #[test]
+    fn flush_and_live_observation_match_finish() {
+        // Service mode reads the committed log without closing the
+        // stream; those reads must agree with what finish() reports.
+        let engine = Engine::builder()
+            .workers(2)
+            .shards(3)
+            .chunk(16)
+            .build()
+            .unwrap();
+        let registry = Registry::new();
+        let mut session = start(&engine, &registry);
+        let docs = corpus();
+        let cut = 97; // mid-chunk on purpose
+        for (period, doc) in &docs[..cut] {
+            session.ingest(*period, doc.clone()).unwrap();
+        }
+        session.flush().expect("quiesces");
+        let cursor = session.committed_len();
+        let mid = session.output_snapshot().expect("snapshot");
+        assert_eq!(mid.detected.len(), cursor);
+        assert_eq!(mid.counters.total, cut as u64);
+
+        for (period, doc) in &docs[cut..] {
+            session.ingest(*period, doc.clone()).unwrap();
+        }
+        session.flush().expect("quiesces");
+        let tail = session.detected_since(cursor);
+        let snapshot = session.output_snapshot().expect("snapshot");
+        assert_eq!(snapshot.detected.len(), cursor + tail.len());
+
+        let out = session.finish().expect("drains");
+        assert_same(&out, &sequential(&corpus()));
+        assert_same(&out, &snapshot);
+    }
+
+    #[test]
     fn resume_rejects_mismatched_shard_count() {
         let engine = Engine::builder()
             .workers(1)
@@ -1081,7 +1201,7 @@ mod tests {
             .build()
             .unwrap();
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         session.ingest(1, doc(1, "a dox fb: someone")).unwrap();
         let snapshot = session.checkpoint().expect("quiesces");
         drop(session);
@@ -1094,7 +1214,11 @@ mod tests {
         let registry = Registry::new();
         assert_eq!(
             other
-                .resume_session_with_registry(Arc::new(KeywordDetector), &registry, snapshot)
+                .session_builder()
+                .detector(Arc::new(KeywordDetector))
+                .registry(&registry)
+                .resume_from(snapshot)
+                .start()
                 .err(),
             Some(EngineError::CheckpointShardMismatch {
                 expected: 3,
@@ -1118,7 +1242,7 @@ mod tests {
             .build()
             .expect("valid config");
         let registry = Registry::new();
-        let mut session = engine.session_with_registry(Arc::new(KeywordDetector), &registry);
+        let mut session = start(&engine, &registry);
         for (period, doc) in corpus() {
             session.ingest(period, doc).expect("valid");
         }

@@ -1,0 +1,644 @@
+//! A minimal HTTP/1.1 server substrate over [`std::net::TcpListener`].
+//!
+//! The no-external-registry constraint rules out hyper/axum; the
+//! telemetry endpoint proved a hand-rolled server is enough for an
+//! operator port, and service mode (`dox-serve`) needs the same thing
+//! with a little more: method+path dispatch with `:param` captures,
+//! request bodies with an enforced size limit, HTTP/1.1 keep-alive, and
+//! a bounded worker pool so one slow client cannot starve the rest.
+//!
+//! * [`Router`] — ordered `(method, pattern)` routes; a path that
+//!   matches a pattern under the *wrong* method yields `405 Method Not
+//!   Allowed` with an `Allow` header, an unknown path `404`.
+//! * [`HttpServer`] — an acceptor thread feeding a bounded pool of
+//!   worker threads through a condvar-signalled queue; each worker runs
+//!   a keep-alive connection loop with read timeouts.
+//! * [`Request`] / [`Response`] — just enough of HTTP to write JSON
+//!   handlers against.
+//!
+//! Nothing served here ever feeds the `ExperimentReport`, so wall-clock
+//! time and thread scheduling are fine in this module.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default cap on request bodies; larger requests get `413`.
+pub const DEFAULT_MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// How long a keep-alive connection may sit idle between requests
+/// before the worker closes it.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/v1/victims/42`).
+    pub path: String,
+    /// The raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// `:name` captures from the matched route pattern, in pattern order.
+    pub params: Vec<(String, String)>,
+    /// The request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Look up a `:name` capture from the matched route.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Look up a `key=value` pair from the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// An HTTP response: status, content type, extra headers and payload.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional headers (e.g. `Allow` on a 405).
+    pub headers: Vec<(String, String)>,
+    /// The response payload.
+    pub payload: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, payload: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            payload: payload.into(),
+        }
+    }
+
+    /// `200 OK` with a JSON payload.
+    pub fn ok(payload: impl Into<String>) -> Self {
+        Self::json(200, payload)
+    }
+
+    /// A JSON error envelope: `{"error":"…"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let escaped: String = message.chars().flat_map(char::escape_default).collect();
+        Self::json(status, format!("{{\"error\":\"{escaped}\"}}"))
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            410 => "Gone",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// One segment of a route pattern.
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A registered route.
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: Box<dyn Fn(&Request) -> Response + Send + Sync>,
+}
+
+impl Route {
+    /// Match `path` against the pattern, returning the `:name` captures.
+    fn matches(&self, path: &str) -> Option<Vec<(String, String)>> {
+        let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+        let pattern_empty = self.segments.is_empty();
+        let path_empty = parts.iter().all(|p| p.is_empty());
+        if pattern_empty || path_empty {
+            return (pattern_empty && path_empty).then(Vec::new);
+        }
+        if parts.len() != self.segments.len() {
+            return None;
+        }
+        let mut params = Vec::new();
+        for (seg, part) in self.segments.iter().zip(&parts) {
+            match seg {
+                Segment::Literal(lit) => {
+                    if lit != part {
+                        return None;
+                    }
+                }
+                Segment::Param(name) => {
+                    params.push((name.clone(), (*part).to_string()));
+                }
+            }
+        }
+        Some(params)
+    }
+}
+
+/// Method+path dispatch over an ordered route table.
+///
+/// ```
+/// use dox_obs::http::{Request, Response, Router};
+///
+/// let router = Router::new()
+///     .route("GET", "/v1/victims/:id", |req: &Request| {
+///         Response::ok(format!("{{\"id\":\"{}\"}}", req.param("id").unwrap_or("")))
+///     });
+/// ```
+#[must_use = "a router does nothing until served by HttpServer::start"]
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler for `method` + `pattern`. Pattern segments
+    /// starting with `:` capture the matching path segment into
+    /// [`Request::params`].
+    pub fn route(
+        mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.strip_prefix(':').map_or_else(
+                    || Segment::Literal(s.to_string()),
+                    |name| Segment::Param(name.to_string()),
+                )
+            })
+            .collect();
+        self.routes.push(Route {
+            method: method.to_uppercase(),
+            segments,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Append every route of `other` after this router's own — lets a
+    /// service mount the telemetry routes next to its API on one port.
+    pub fn merge(mut self, other: Router) -> Self {
+        self.routes.extend(other.routes);
+        self
+    }
+
+    /// Dispatch a request: `200`-range from the handler, `405` with an
+    /// `Allow` header when the path exists under other methods, `404`
+    /// when no pattern matches at all.
+    pub fn dispatch(&self, request: &mut Request) -> Response {
+        let mut allowed: Vec<String> = Vec::new();
+        for route in &self.routes {
+            let Some(params) = route.matches(&request.path) else {
+                continue;
+            };
+            if route.method == request.method {
+                request.params = params;
+                return (route.handler)(request);
+            }
+            if !allowed.contains(&route.method) {
+                allowed.push(route.method.clone());
+            }
+        }
+        if allowed.is_empty() {
+            Response::error(404, "not found")
+        } else {
+            let mut response = Response::error(405, "method not allowed");
+            response
+                .headers
+                .push(("Allow".to_string(), allowed.join(", ")));
+            response
+        }
+    }
+}
+
+/// Connections waiting for a worker, plus the shutdown flag.
+#[derive(Debug)]
+struct Backlog {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// A running HTTP server: one acceptor thread and a bounded pool of
+/// connection workers. Stop it with [`HttpServer::stop`]; dropping it
+/// also shuts everything down.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    backlog: Arc<Backlog>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (port 0 for ephemeral) and serve `router` on a pool
+    /// of `workers` threads, rejecting request bodies over `max_body`
+    /// bytes with `413`.
+    ///
+    /// # Errors
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(
+        addr: &str,
+        router: Router,
+        workers: usize,
+        max_body: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let backlog = Arc::new(Backlog {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let router = Arc::new(router);
+        let acceptor = {
+            let backlog = Arc::clone(&backlog);
+            std::thread::Builder::new()
+                .name("dox-http-accept".to_string())
+                .spawn(move || accept_loop(&listener, &backlog))?
+        };
+        let pool = (0..workers.max(1))
+            .map(|i| {
+                let backlog = Arc::clone(&backlog);
+                let router = Arc::clone(&router);
+                std::thread::Builder::new()
+                    .name(format!("dox-http-{i}"))
+                    .spawn(move || worker_loop(&backlog, &router, max_body))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Self {
+            addr: local,
+            backlog,
+            acceptor: Some(acceptor),
+            workers: pool,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the server down and join every thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.backlog.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection, then wake
+        // every idle worker.
+        let _ = TcpStream::connect(self.addr);
+        self.backlog.ready.notify_all();
+        let _ = acceptor.join();
+        self.backlog.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, backlog: &Backlog) {
+    for stream in listener.incoming() {
+        if backlog.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = backlog.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.push_back(stream);
+        drop(queue);
+        backlog.ready.notify_one();
+    }
+}
+
+fn worker_loop(backlog: &Backlog, router: &Router, max_body: usize) {
+    loop {
+        let stream = {
+            let mut queue = backlog.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if backlog.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = backlog
+                    .ready
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        let _ = serve_connection(stream, router, max_body, &backlog.stop);
+    }
+}
+
+/// Keep-alive loop over one connection: parse → dispatch → respond until
+/// the client closes, errors, goes idle, or asks for `Connection: close`.
+fn serve_connection(
+    stream: TcpStream,
+    router: &Router,
+    max_body: usize,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
+    // Responses are written in one buffered syscall; Nagle would hold
+    // them behind the peer's delayed ACK (~40ms per round trip).
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if request_line.trim().is_empty() {
+            continue; // stray CRLF between pipelined requests
+        }
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("").to_uppercase();
+        let target = parts.next().unwrap_or("");
+        let version = parts.next().unwrap_or("HTTP/1.1");
+
+        // Headers: we care about Content-Length and Connection.
+        let mut content_length: usize = 0;
+        let mut close_requested = version == "HTTP/1.0";
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Ok(());
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close_requested = value.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+
+        if content_length > max_body {
+            // Refuse to read an oversized payload; the connection is no
+            // longer in a known state, so close it after answering.
+            write_response(
+                reader.get_mut(),
+                &Response::error(413, "request body too large"),
+                true,
+            )?;
+            return Ok(());
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+        let mut request = Request {
+            method,
+            path,
+            query,
+            params: Vec::new(),
+            body,
+        };
+        let response = router.dispatch(&mut request);
+        write_response(reader.get_mut(), &response, close_requested)?;
+        if close_requested {
+            return Ok(());
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let payload = &response.payload;
+    let mut extra = String::new();
+    for (name, value) in &response.headers {
+        extra.push_str(name);
+        extra.push_str(": ");
+        extra.push_str(value);
+        extra.push_str("\r\n");
+    }
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{extra}Connection: {connection}\r\n\r\n{payload}",
+        response.status,
+        Response::reason(response.status),
+        response.content_type,
+        payload.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_router() -> Router {
+        Router::new()
+            .route("GET", "/ping", |_req| Response::ok("{\"pong\":true}"))
+            .route("GET", "/v1/items/:id", |req: &Request| {
+                Response::ok(format!(
+                    "{{\"id\":\"{}\"}}",
+                    req.param("id").unwrap_or_default()
+                ))
+            })
+            .route("POST", "/v1/echo", |req: &Request| {
+                Response::ok(format!("{{\"len\":{}}}", req.body.len()))
+            })
+    }
+
+    fn send(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        send(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    #[test]
+    fn routes_dispatch_with_params() {
+        let server = HttpServer::start("127.0.0.1:0", test_router(), 2, DEFAULT_MAX_BODY)
+            .expect("bind ephemeral");
+        let addr = server.local_addr();
+        assert!(get(addr, "/ping").contains("\"pong\":true"));
+        let with_param = get(addr, "/v1/items/42");
+        assert!(with_param.starts_with("HTTP/1.1 200"), "{with_param}");
+        assert!(with_param.contains("\"id\":\"42\""), "{with_param}");
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_paths_are_404_and_wrong_methods_405() {
+        let server = HttpServer::start("127.0.0.1:0", test_router(), 2, DEFAULT_MAX_BODY)
+            .expect("bind ephemeral");
+        let addr = server.local_addr();
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        let wrong_method = send(
+            addr,
+            "POST /ping HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+        assert!(wrong_method.contains("Allow: GET"), "{wrong_method}");
+        server.stop();
+    }
+
+    #[test]
+    fn request_bodies_reach_handlers_and_oversized_ones_are_413() {
+        let server =
+            HttpServer::start("127.0.0.1:0", test_router(), 2, 64).expect("bind ephemeral");
+        let addr = server.local_addr();
+        let ok = send(
+            addr,
+            "POST /v1/echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+        );
+        assert!(ok.contains("\"len\":5"), "{ok}");
+        let huge = format!(
+            "POST /v1/echo HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\nConnection: close\r\n\r\n{}",
+            "x".repeat(100)
+        );
+        let too_large = send(addr, &huge);
+        assert!(too_large.starts_with("HTTP/1.1 413"), "{too_large}");
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = HttpServer::start("127.0.0.1:0", test_router(), 2, DEFAULT_MAX_BODY)
+            .expect("bind ephemeral");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        for i in 0..3 {
+            write!(stream, "GET /v1/items/{i} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+            // Keep-alive leaves the stream open, so read until the body
+            // (which ends with `}`) has fully arrived.
+            let mut response = String::new();
+            let mut buf = [0u8; 1024];
+            while !response.ends_with('}') {
+                let n = stream.read(&mut buf).expect("read");
+                assert!(n > 0, "server closed early: {response}");
+                response.push_str(&String::from_utf8_lossy(&buf[..n]));
+            }
+            assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+            assert!(response.contains(&format!("\"id\":\"{i}\"")), "{response}");
+            assert!(response.contains("Connection: keep-alive"), "{response}");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let router = Router::new().route("GET", "/v1/alerts", |req: &Request| {
+            Response::ok(format!(
+                "{{\"cursor\":\"{}\"}}",
+                req.query_param("cursor").unwrap_or("0")
+            ))
+        });
+        let server =
+            HttpServer::start("127.0.0.1:0", router, 1, DEFAULT_MAX_BODY).expect("bind ephemeral");
+        let with_query = get(server.local_addr(), "/v1/alerts?cursor=17&wait=0");
+        assert!(with_query.contains("\"cursor\":\"17\""), "{with_query}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_all_threads_and_releases_the_port() {
+        let server = HttpServer::start("127.0.0.1:0", test_router(), 4, DEFAULT_MAX_BODY)
+            .expect("bind ephemeral");
+        let addr = server.local_addr();
+        assert!(get(addr, "/ping").contains("pong"));
+        server.stop();
+        assert!(
+            TcpListener::bind(addr).is_ok(),
+            "address released after stop"
+        );
+    }
+
+    #[test]
+    fn concurrent_connections_are_served_by_the_pool() {
+        let server = HttpServer::start("127.0.0.1:0", test_router(), 4, DEFAULT_MAX_BODY)
+            .expect("bind ephemeral");
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let response = get(addr, &format!("/v1/items/{i}"));
+                    assert!(response.contains(&format!("\"id\":\"{i}\"")), "{response}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        server.stop();
+    }
+}

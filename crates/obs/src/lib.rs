@@ -21,9 +21,12 @@
 //!   through the pipeline with seeded ids and sim-clock timestamps, so
 //!   the exported JSONL is byte-identical for a given
 //!   `(config, seed, sampling)` at any worker/shard topology.
+//! * **HTTP** — [`http`] is a minimal HTTP/1.1 substrate (router with
+//!   `:param` captures, bounded worker pool, keep-alive, body limits)
+//!   shared by the telemetry endpoint and the `dox-serve` daemon.
 //! * **Telemetry** — [`Telemetry`] serves the live snapshot, rolling
-//!   per-stage docs/s, and recent traces over a hand-rolled HTTP
-//!   endpoint (`GET /metrics`, `GET /traces`).
+//!   per-stage docs/s, and recent traces over that server
+//!   (`GET /metrics`, `GET /traces`).
 //!
 //! Metrics observe the computation without participating in it: recording
 //! must never change what the pipeline produces. The study stays a pure
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod http;
 pub mod metrics;
 pub mod redact;
 pub mod snapshot;
@@ -42,6 +46,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use event::{Event, EventLog, Level};
+pub use http::{HttpServer, Request, Response, Router};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
 pub use redact::{redact, Redacted};
 pub use snapshot::{HistogramSnapshot, Snapshot};

@@ -1,8 +1,6 @@
-//! Live telemetry over a hand-rolled HTTP/1.1 server.
+//! Live telemetry over the shared [`crate::http`] server.
 //!
-//! The no-external-registry constraint rules out hyper/axum, and a
-//! metrics surface does not need them: this is a blocking
-//! [`std::net::TcpListener`] on its own thread, answering two routes:
+//! The endpoint answers two routes:
 //!
 //! * `GET /metrics` — the current [`crate::Snapshot`] (counters, gauges,
 //!   span histograms, recent events, drop counts) plus
@@ -12,33 +10,33 @@
 //! * `GET /traces` — the most recent sampled traces from the bounded
 //!   trace buffer, as a JSON object.
 //!
-//! Everything else is a 404. Requests are served sequentially; this is
-//! an operator inspection port, not a public API. Wall-clock time is
-//! used for scrape-to-scrape rates — that is fine here because nothing
-//! served by this endpoint ever feeds the `ExperimentReport`.
+//! Wrong-method hits on those routes get `405` with an `Allow` header;
+//! anything else is a 404. This is an operator inspection port, not a
+//! public API. Wall-clock time is used for scrape-to-scrape rates —
+//! that is fine here because nothing served by this endpoint ever feeds
+//! the `ExperimentReport`.
 
+use crate::http::{HttpServer, Response, Router};
 use crate::metrics::Registry;
 use crate::trace::Tracer;
 use serde::value::{Number, Value};
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::net::SocketAddr;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Traces returned by `GET /traces`.
 const TRACES_LIMIT: usize = 64;
 
+/// Workers serving the inspection port; scrapes are cheap and rare.
+const TELEMETRY_WORKERS: usize = 2;
+
 /// A running telemetry endpoint. Stop it with [`Telemetry::stop`];
 /// dropping it also shuts the server down.
 #[derive(Debug)]
 pub struct Telemetry {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 impl Telemetry {
@@ -48,95 +46,48 @@ impl Telemetry {
     /// # Errors
     /// Returns the bind error when the address is unavailable.
     pub fn start(addr: &str, registry: Registry, tracer: Tracer) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("dox-telemetry".to_string())
-            .spawn(move || serve(&listener, &registry, &tracer, &thread_stop))?;
-        Ok(Self {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let server = HttpServer::start(
+            addr,
+            router(registry, tracer),
+            TELEMETRY_WORKERS,
+            crate::http::DEFAULT_MAX_BODY,
+        )?;
+        Ok(Self { server })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
 
-    /// Shut the server down and join its thread.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        let Some(handle) = self.handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
+    /// Shut the server down and join its threads.
+    pub fn stop(self) {
+        self.server.stop();
     }
 }
 
-impl Drop for Telemetry {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
+/// Build the telemetry route table over `registry` and `tracer`.
+///
+/// `dox-serve` mounts these same routes next to its service API so one
+/// port serves both; the standalone [`Telemetry`] endpoint serves them
+/// alone.
+pub fn router(registry: Registry, tracer: Tracer) -> Router {
+    let baseline: Mutex<Option<RateBaseline>> = Mutex::new(None);
+    let traces_tracer = tracer.clone();
+    Router::new()
+        .route("GET", "/metrics", move |_req| {
+            let mut baseline = baseline.lock().unwrap_or_else(PoisonError::into_inner);
+            Response::ok(metrics_body(&registry, &tracer, &mut baseline))
+        })
+        .route("GET", "/traces", move |_req| {
+            Response::ok(traces_body(&traces_tracer))
+        })
 }
 
 /// Scrape-to-scrape state for rolling rates.
 struct RateBaseline {
     at: Instant,
     counts: BTreeMap<String, u64>,
-}
-
-fn serve(listener: &TcpListener, registry: &Registry, tracer: &Tracer, stop: &AtomicBool) {
-    let mut baseline: Option<RateBaseline> = None;
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let _ = handle_connection(stream, registry, tracer, &mut baseline);
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    registry: &Registry,
-    tracer: &Tracer,
-    baseline: &mut Option<RateBaseline>,
-) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers so well-behaved clients see a clean close.
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, payload) = match (method, path) {
-        ("GET", "/metrics") => ("200 OK", metrics_body(registry, tracer, baseline)),
-        ("GET", "/traces") => ("200 OK", traces_body(tracer)),
-        _ => ("404 Not Found", "{\"error\":\"not found\"}".to_string()),
-    };
-    let mut stream = reader.into_inner();
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
-        payload.len(),
-    )?;
-    stream.flush()
 }
 
 /// Current per-stage completion counts: every counter's value plus every
@@ -218,11 +169,16 @@ fn traces_body(tracer: &Tracer) -> String {
 mod tests {
     use super::*;
     use crate::trace::{hop, TraceConfig, SAMPLE_ALL};
-    use std::io::Read;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .expect("request");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("response");
         let (head, body) = response.split_once("\r\n\r\n").expect("header split");
@@ -286,11 +242,22 @@ mod tests {
     }
 
     #[test]
-    fn unknown_routes_are_404() {
+    fn unknown_routes_are_404_and_wrong_methods_405() {
         let (registry, tracer) = fixture();
         let server = Telemetry::start("127.0.0.1:0", registry, tracer).expect("bind ephemeral");
-        let (head, _) = get(server.local_addr(), "/nope");
+        let addr = server.local_addr();
+        let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /metrics HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+        )
+        .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert!(response.contains("Allow: GET"), "{response}");
         server.stop();
     }
 
@@ -300,7 +267,7 @@ mod tests {
         let server = Telemetry::start("127.0.0.1:0", registry, tracer).expect("bind ephemeral");
         let addr = server.local_addr();
         server.stop();
-        // The port is released once the thread exits; a rebind succeeds.
+        // The port is released once the threads exit; a rebind succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "address released after stop");
     }

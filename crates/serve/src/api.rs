@@ -1,0 +1,427 @@
+//! The service route table and shared daemon state.
+//!
+//! Endpoints (all JSON):
+//!
+//! | Method | Path                | Purpose |
+//! |--------|---------------------|---------|
+//! | POST   | `/v1/tenants`       | Create a tenant (trains its detector) |
+//! | GET    | `/v1/tenants`       | List tenants with ingest/alert counts |
+//! | DELETE | `/v1/tenants/:id`   | Remove a tenant (drops its session) |
+//! | POST   | `/v1/ingest`        | Batch-ingest documents, get per-doc verdicts |
+//! | GET    | `/v1/report`        | Full `ExperimentReport` for a tenant |
+//! | GET    | `/v1/victims/:id`   | Victim lookup by account-set fingerprint |
+//! | GET    | `/v1/accounts/:id`  | Account lookup by `network:handle` fingerprint |
+//! | GET    | `/v1/alerts`        | Cursor-paged stream of committed doxes |
+//! | GET    | `/metrics`          | Telemetry snapshot + rolling rates |
+//! | GET    | `/traces`           | Recent causal traces |
+//!
+//! Requests that name no tenant (`?tenant=` / `"tenant"` field) are
+//! routed to the sole tenant when exactly one exists, `400` otherwise.
+//! Wrong-method hits on known paths get `405` with an `Allow` header,
+//! oversized bodies `413`, and mutating requests during a drain `503`.
+
+use crate::tenant::{Tenant, TenantSpec};
+use dox_obs::http::{Request, Response, Router};
+use dox_obs::{Registry, Tracer};
+use dox_sites::collect::CollectedDoc;
+use serde::value::{Number, Value};
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Alert records returned per `GET /v1/alerts` page by default.
+const DEFAULT_ALERT_PAGE: usize = 256;
+
+/// Shared daemon state: the tenant map and the drain flag.
+///
+/// Each tenant sits behind its own mutex so ingests for different
+/// tenants proceed in parallel; the outer map lock is held only for
+/// lookup and insert/remove.
+#[derive(Debug)]
+pub struct ServeState {
+    registry: Registry,
+    tenants: Mutex<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+    draining: AtomicBool,
+}
+
+impl ServeState {
+    /// Fresh state recording engine metrics into `registry`.
+    pub fn new(registry: Registry) -> Self {
+        Self {
+            registry,
+            tenants: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The registry tenants record into (and `/metrics` serves).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn map(&self) -> MutexGuard<'_, BTreeMap<String, Arc<Mutex<Tenant>>>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a tenant by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<Tenant>>> {
+        self.map().get(id).cloned()
+    }
+
+    /// Insert a started tenant; `false` (and no insert) when the id is
+    /// already taken.
+    pub fn insert(&self, tenant: Tenant) -> bool {
+        let id = tenant.spec().id.clone();
+        let mut map = self.map();
+        if map.contains_key(&id) {
+            return false;
+        }
+        map.insert(id, Arc::new(Mutex::new(tenant)));
+        true
+    }
+
+    /// Remove a tenant, dropping its resident session.
+    pub fn remove(&self, id: &str) -> bool {
+        self.map().remove(id).is_some()
+    }
+
+    /// Current tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        self.map().keys().cloned().collect()
+    }
+
+    /// Enter drain mode: mutating endpoints answer `503` from now on.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the daemon is draining.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Quiesce and checkpoint every tenant into
+    /// `dir/tenant_<id>.json`. Returns the written paths.
+    ///
+    /// # Errors
+    /// A message naming the first tenant that failed to quiesce or
+    /// whose file failed to write.
+    pub fn drain_checkpoints(&self, dir: &Path) -> Result<Vec<PathBuf>, String> {
+        self.begin_drain();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+        let tenants: Vec<Arc<Mutex<Tenant>>> = self.map().values().cloned().collect();
+        let mut written = Vec::new();
+        for tenant in tenants {
+            let mut tenant = tenant.lock().unwrap_or_else(PoisonError::into_inner);
+            let id = tenant.spec().id.clone();
+            let value = tenant
+                .checkpoint_value()
+                .map_err(|e| format!("tenant '{id}': {e}"))?;
+            let payload =
+                serde_json::to_string(&value).map_err(|e| format!("tenant '{id}': {e}"))?;
+            let path = dir.join(format!("tenant_{id}.json"));
+            std::fs::write(&path, payload)
+                .map_err(|e| format!("tenant '{id}' -> {}: {e}", path.display()))?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Restore every `tenant_*.json` checkpoint under `dir` (written by
+    /// a previous drain). Returns the restored tenant ids.
+    ///
+    /// # Errors
+    /// A message naming the first unreadable, malformed or mismatched
+    /// file.
+    pub fn restore_checkpoints(&self, dir: &Path) -> Result<Vec<String>, String> {
+        let mut restored = Vec::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(std::result::Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("tenant_") && n.ends_with(".json"))
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            let raw =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let value: Value =
+                serde_json::from_str(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+            let tenant = Tenant::from_checkpoint_value(&value, &self.registry)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let id = tenant.spec().id.clone();
+            if !self.insert(tenant) {
+                return Err(format!("{}: duplicate tenant '{id}'", path.display()));
+            }
+            restored.push(id);
+        }
+        Ok(restored)
+    }
+
+    /// Resolve the tenant a request addresses: the explicit name when
+    /// given, otherwise the sole resident tenant.
+    fn resolve(&self, explicit: Option<&str>) -> Result<Arc<Mutex<Tenant>>, Response> {
+        if let Some(id) = explicit {
+            return self
+                .get(id)
+                .ok_or_else(|| Response::error(404, &format!("unknown tenant '{id}'")));
+        }
+        let map = self.map();
+        let mut tenants = map.values();
+        match (tenants.next(), tenants.next()) {
+            (None, _) => Err(Response::error(404, "no tenants resident")),
+            (Some(sole), None) => Ok(Arc::clone(sole)),
+            _ => Err(Response::error(
+                400,
+                "multiple tenants resident; name one with ?tenant=<id>",
+            )),
+        }
+    }
+}
+
+/// Lock a tenant for the duration of one handler.
+fn lock(tenant: &Arc<Mutex<Tenant>>) -> MutexGuard<'_, Tenant> {
+    tenant.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn parse_json(bytes: &[u8]) -> Result<Value, Response> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|_| Response::error(400, "request body is not valid JSON"))
+}
+
+fn parse_fingerprint(req: &Request) -> Result<u32, Response> {
+    req.param("id")
+        .and_then(|raw| raw.parse::<u32>().ok())
+        .ok_or_else(|| Response::error(400, "id must be a decimal u32 fingerprint"))
+}
+
+/// Build the full service route table, with the telemetry routes
+/// (`/metrics`, `/traces`) mounted on the same port.
+pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
+    let telemetry = dox_obs::telemetry::router(state.registry().clone(), tracer.clone());
+
+    let create_state = Arc::clone(&state);
+    let list_state = Arc::clone(&state);
+    let delete_state = Arc::clone(&state);
+    let ingest_state = Arc::clone(&state);
+    let report_state = Arc::clone(&state);
+    let victim_state = Arc::clone(&state);
+    let account_state = Arc::clone(&state);
+    let alerts_state = Arc::clone(&state);
+
+    Router::new()
+        .route("POST", "/v1/tenants", move |req: &Request| {
+            if create_state.draining() {
+                return Response::error(503, "draining");
+            }
+            let value = match parse_json(&req.body) {
+                Ok(v) => v,
+                Err(response) => return response,
+            };
+            let Some(spec) = TenantSpec::from_value(&value) else {
+                return Response::error(
+                    400,
+                    "tenant spec needs id (alphanumeric/-/_), seed (u64) and scale (0,1]",
+                );
+            };
+            let id = spec.id.clone();
+            if create_state.get(&id).is_some() {
+                return Response::error(409, &format!("tenant '{id}' already exists"));
+            }
+            let fingerprint = spec.fingerprint();
+            let tenant = match Tenant::start(spec, create_state.registry()) {
+                Ok(t) => t,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            if !create_state.insert(tenant) {
+                return Response::error(409, &format!("tenant '{id}' already exists"));
+            }
+            Response::json(
+                201,
+                serde_json::to_string(&Value::Object(vec![
+                    ("id".to_string(), Value::String(id)),
+                    (
+                        "fingerprint".to_string(),
+                        Value::Number(Number::U64(u64::from(fingerprint))),
+                    ),
+                ]))
+                .unwrap_or_else(|_| "{}".to_string()),
+            )
+        })
+        .route("GET", "/v1/tenants", move |_req| {
+            let summaries: Vec<Value> = list_state
+                .tenant_ids()
+                .iter()
+                .filter_map(|id| list_state.get(id))
+                .map(|t| lock(&t).summary_value())
+                .collect();
+            Response::ok(
+                serde_json::to_string(&Value::Object(vec![(
+                    "tenants".to_string(),
+                    Value::Array(summaries),
+                )]))
+                .unwrap_or_else(|_| "{}".to_string()),
+            )
+        })
+        .route("DELETE", "/v1/tenants/:id", move |req: &Request| {
+            if delete_state.draining() {
+                return Response::error(503, "draining");
+            }
+            let id = req.param("id").unwrap_or_default();
+            if delete_state.remove(id) {
+                Response::ok(format!("{{\"removed\":\"{id}\"}}"))
+            } else {
+                Response::error(404, &format!("unknown tenant '{id}'"))
+            }
+        })
+        .route("POST", "/v1/ingest", move |req: &Request| {
+            if ingest_state.draining() {
+                return Response::error(503, "draining");
+            }
+            let value = match parse_json(&req.body) {
+                Ok(v) => v,
+                Err(response) => return response,
+            };
+            let explicit = value
+                .get("tenant")
+                .and_then(Value::as_str)
+                .or_else(|| req.query_param("tenant"));
+            let tenant = match ingest_state.resolve(explicit) {
+                Ok(t) => t,
+                Err(response) => return response,
+            };
+            let Some(period) = value
+                .get("period")
+                .and_then(Value::as_u64)
+                .and_then(|p| u8::try_from(p).ok())
+            else {
+                return Response::error(400, "period must be 1 or 2");
+            };
+            let Some(raw_docs) = value.get("docs").and_then(Value::as_array) else {
+                return Response::error(400, "docs must be an array of collected documents");
+            };
+            let mut docs = Vec::with_capacity(raw_docs.len());
+            for (i, raw) in raw_docs.iter().enumerate() {
+                match CollectedDoc::from_value(raw) {
+                    Some(doc) => docs.push(doc),
+                    None => {
+                        return Response::error(400, &format!("docs[{i}] is malformed"));
+                    }
+                }
+            }
+            let outcome = lock(&tenant).ingest_batch(period, docs);
+            match outcome {
+                Ok(outcome) => Response::ok(
+                    serde_json::to_string(&outcome.to_value()).unwrap_or_else(|_| "{}".to_string()),
+                ),
+                Err(e) => Response::error(400, &e.to_string()),
+            }
+        })
+        .route("GET", "/v1/report", move |req: &Request| {
+            let tenant = match report_state.resolve(req.query_param("tenant")) {
+                Ok(t) => t,
+                Err(response) => return response,
+            };
+            let report = lock(&tenant).report_json();
+            match report {
+                Ok(payload) => Response::ok(payload),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        })
+        .route("GET", "/v1/victims/:id", move |req: &Request| {
+            let fp = match parse_fingerprint(req) {
+                Ok(fp) => fp,
+                Err(response) => return response,
+            };
+            let tenant = match victim_state.resolve(req.query_param("tenant")) {
+                Ok(t) => t,
+                Err(response) => return response,
+            };
+            let found = lock(&tenant).victim_value(fp);
+            match found {
+                Some(value) => {
+                    Response::ok(serde_json::to_string(&value).unwrap_or_else(|_| "{}".to_string()))
+                }
+                None => Response::error(404, "no victim with that fingerprint"),
+            }
+        })
+        .route("GET", "/v1/accounts/:id", move |req: &Request| {
+            let fp = match parse_fingerprint(req) {
+                Ok(fp) => fp,
+                Err(response) => return response,
+            };
+            let tenant = match account_state.resolve(req.query_param("tenant")) {
+                Ok(t) => t,
+                Err(response) => return response,
+            };
+            let found = lock(&tenant).account_value(fp);
+            match found {
+                Some(value) => {
+                    Response::ok(serde_json::to_string(&value).unwrap_or_else(|_| "{}".to_string()))
+                }
+                None => Response::error(404, "no account with that fingerprint"),
+            }
+        })
+        .route("GET", "/v1/alerts", move |req: &Request| {
+            let tenant = match alerts_state.resolve(req.query_param("tenant")) {
+                Ok(t) => t,
+                Err(response) => return response,
+            };
+            let cursor = match req.query_param("cursor") {
+                None => 0,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(c) => c,
+                    Err(_) => return Response::error(400, "cursor must be a decimal offset"),
+                },
+            };
+            let limit = req
+                .query_param("limit")
+                .and_then(|raw| raw.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_ALERT_PAGE)
+                .clamp(1, 4096);
+            let (next, page) = lock(&tenant).alerts_page(cursor, limit);
+            Response::ok(
+                serde_json::to_string(&Value::Object(vec![
+                    (
+                        "cursor".to_string(),
+                        Value::Number(Number::U64(next as u64)),
+                    ),
+                    ("alerts".to_string(), Value::Array(page)),
+                ]))
+                .unwrap_or_else(|_| "{}".to_string()),
+            )
+        })
+        .merge(telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_picks_the_sole_tenant_and_rejects_ambiguity() {
+        let state = ServeState::new(Registry::new());
+        assert!(state.resolve(None).is_err(), "no tenants -> 404");
+        assert!(
+            state.resolve(Some("ghost")).is_err(),
+            "unknown tenant -> 404"
+        );
+    }
+
+    #[test]
+    fn drain_flag_flips_once() {
+        let state = ServeState::new(Registry::new());
+        assert!(!state.draining());
+        state.begin_drain();
+        assert!(state.draining());
+    }
+}

@@ -99,6 +99,26 @@ pub struct SynthDoc {
     pub truth: GroundTruth,
 }
 
+// The vendored serde cannot derive `Deserialize`; service-mode ingest
+// round-trips whole documents by hand, mirroring the derive's
+// Serialize encoding.
+impl serde::Deserialize for SynthDoc {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        use serde::value::Value;
+        Some(SynthDoc {
+            id: value.get("id")?.as_u64()?,
+            source: Source::from_value(value.get("source")?)?,
+            posted_at: SimTime::from_value(value.get("posted_at")?)?,
+            body: value.get("body")?.as_str()?.to_string(),
+            deleted_after: match value.get("deleted_after")? {
+                Value::Null => None,
+                other => Some(SimDuration::from_value(other)?),
+            },
+            truth: GroundTruth::from_value(value.get("truth")?)?,
+        })
+    }
+}
+
 /// A remembered dox posting, for the duplicate model.
 #[derive(Debug, Clone)]
 struct DoxRecord {

@@ -273,6 +273,27 @@ impl PasteKind {
     }
 }
 
+// Service-mode ingest ships whole documents over the wire; unit
+// variants round-trip as variant-name strings.
+impl serde::Deserialize for PasteKind {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        match value.as_str()? {
+            "Code" => Some(PasteKind::Code),
+            "Log" => Some(PasteKind::Log),
+            "Config" => Some(PasteKind::Config),
+            "Chat" => Some(PasteKind::Chat),
+            "Prose" => Some(PasteKind::Prose),
+            "CredentialDump" => Some(PasteKind::CredentialDump),
+            "UserList" => Some(PasteKind::UserList),
+            "FormData" => Some(PasteKind::FormData),
+            "ProfileCard" => Some(PasteKind::ProfileCard),
+            "DoxTutorial" => Some(PasteKind::DoxTutorial),
+            "DoxDiscussion" => Some(PasteKind::DoxDiscussion),
+            _ => None,
+        }
+    }
+}
+
 /// Ground truth for any document in the corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GroundTruth {
@@ -297,6 +318,20 @@ impl GroundTruth {
             GroundTruth::Dox(d) => Some(d),
             GroundTruth::Paste { .. } => None,
         }
+    }
+}
+
+// Mirrors the derive's externally-tagged enum encoding:
+// `{"Dox": <truth>}` / `{"Paste": {"kind": "<name>"}}`.
+impl serde::Deserialize for GroundTruth {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        if let Some(inner) = value.get("Dox") {
+            return Some(GroundTruth::Dox(Box::new(DoxTruth::from_value(inner)?)));
+        }
+        let paste = value.get("Paste")?;
+        Some(GroundTruth::Paste {
+            kind: PasteKind::from_value(paste.get("kind")?)?,
+        })
     }
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Service-mode smoke test: run the real dox-serve daemon, ingest a
+# tenant's document stream over HTTP, SIGTERM the daemon mid-corpus
+# (graceful drain checkpoints the tenant), restart it with --resume,
+# finish the stream, and verify `GET /v1/report` is byte-identical to
+# the batch `Study::run` under the same spec-derived config.
+#
+# This exercises the real service path end to end — a separate daemon
+# process, raw TCP clients, a real SIGTERM (the in-binary drain, not a
+# test harness shim), checkpoint files on disk, and the `--resume`
+# flag — rather than the in-process router the integration tests use.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SEED=99
+SCALE=0.01
+TENANT=smoke
+ADDR=127.0.0.1:9377
+SERVE=target/release/dox-serve
+LOADGEN=target/release/loadgen
+
+scratch=$(mktemp -d "${TMPDIR:-/tmp}/dox_serve_smoke.XXXXXX")
+daemon=""
+cleanup() {
+    [ -n "$daemon" ] && kill "$daemon" 2> /dev/null || true
+    rm -rf "$scratch"
+}
+trap cleanup EXIT
+
+step() { printf '\n-- %s --\n' "$*"; }
+
+step "building the release daemon and load client"
+cargo build -q --release -p dox-serve --bin dox-serve
+cargo build -q --release -p dox-bench --bin loadgen
+
+step "baseline: batch study under the identical derived config"
+"$LOADGEN" batch --seed "$SEED" --scale "$SCALE" --id "$TENANT" \
+    --out "$scratch/batch.json"
+
+step "daemon up: create the tenant, ingest the first half of the stream"
+"$SERVE" --quiet --addr "$ADDR" --checkpoint-dir "$scratch/ckpt" &
+daemon=$!
+"$LOADGEN" client --addr "$ADDR" --seed "$SEED" --scale "$SCALE" \
+    --id "$TENANT" --create --half first
+
+step "SIGTERM: graceful drain must checkpoint the tenant and exit 0"
+kill -TERM "$daemon"
+if wait "$daemon"; then
+    daemon=""
+else
+    echo "FAIL: daemon exited nonzero on SIGTERM drain" >&2
+    daemon=""
+    exit 1
+fi
+if [ ! -f "$scratch/ckpt/tenant_$TENANT.json" ]; then
+    echo "FAIL: drain left no tenant checkpoint on disk" >&2
+    exit 1
+fi
+echo "checkpoint on disk: $(wc -c < "$scratch/ckpt/tenant_$TENANT.json") bytes"
+
+step "restart with --resume: finish the stream on the restored tenant"
+"$SERVE" --quiet --addr "$ADDR" --checkpoint-dir "$scratch/ckpt" --resume &
+daemon=$!
+"$LOADGEN" client --addr "$ADDR" --seed "$SEED" --scale "$SCALE" \
+    --id "$TENANT" --half second --report "$scratch/served.json"
+kill -TERM "$daemon"
+wait "$daemon" || true
+daemon=""
+
+step "verify: service report is byte-identical to the batch report"
+if cmp -s "$scratch/batch.json" "$scratch/served.json"; then
+    echo "identical: $(wc -c < "$scratch/batch.json") bytes"
+else
+    echo "FAIL: /v1/report differs from the batch study" >&2
+    cmp "$scratch/batch.json" "$scratch/served.json" || true
+    exit 1
+fi
+
+printf '\nServe smoke test passed.\n'

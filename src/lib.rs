@@ -17,6 +17,7 @@
 //! - [`engine`] — the sharded streaming ingest engine.
 //! - [`core`] — the end-to-end measurement pipeline, analyses and reports.
 //! - [`obs`] — metrics, span timing and structured events (dependency-free).
+//! - [`serve`] — the continuous-ingest service daemon and its HTTP API.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use dox_geo as geo;
 pub use dox_ml as ml;
 pub use dox_obs as obs;
 pub use dox_osn as osn;
+pub use dox_serve as serve;
 pub use dox_sites as sites;
 pub use dox_synth as synth;
 pub use dox_textkit as textkit;

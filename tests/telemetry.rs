@@ -8,20 +8,24 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// Minimal HTTP/1.1 GET; returns the raw response (headers + body).
-fn http_get(addr: &str, path: &str) -> String {
+/// Minimal HTTP/1.1 request; returns the raw response (headers + body).
+fn http_request(addr: &str, method: &str, path: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect to telemetry");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("set read timeout");
     write!(
         stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
     )
     .expect("send request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
     response
+}
+
+fn http_get(addr: &str, path: &str) -> String {
+    http_request(addr, "GET", path)
 }
 
 #[test]
@@ -72,6 +76,18 @@ fn metrics_and_traces_endpoints_serve_a_finished_study() {
     assert!(
         missing.starts_with("HTTP/1.1 404"),
         "bad 404 status: {missing}"
+    );
+
+    // A known route hit with the wrong method is a 405 naming the
+    // methods that would work — not a 404.
+    let wrong_method = http_request(&addr, "POST", "/metrics");
+    assert!(
+        wrong_method.starts_with("HTTP/1.1 405"),
+        "bad 405 status: {wrong_method}"
+    );
+    assert!(
+        wrong_method.contains("Allow: GET"),
+        "405 must carry Allow: {wrong_method}"
     );
 
     server.stop();
