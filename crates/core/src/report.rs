@@ -184,7 +184,7 @@ pub fn table5(r: &ExperimentReport) -> String {
         s,
         "Located in USA*   {} (*of the {} labeled doxes with an address)",
         pct(d.primary_country),
-        // dox-lint:allow(pii-sink) aggregate count of doxes carrying an address, not address content
+        // dox-lint:allow(pii-taint) aggregate count of doxes carrying an address, not address content
         d.with_address
     );
     s

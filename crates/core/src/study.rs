@@ -884,7 +884,7 @@ impl Study {
         };
         // The first unique dox doubles as a sanity probe in the event
         // log. Its body is PII-dense by construction, so only a redacted
-        // length + fingerprint may leave the pipeline (dox-lint pii-sink).
+        // length + fingerprint may leave the pipeline (dox-lint pii-taint).
         let first_dox = output.unique_doxes().next();
         obs.events().emit(
             Level::Info,

@@ -6,12 +6,16 @@
 //! `lint.toml` means "strict, empty baseline".
 //!
 //! ```toml
-//! [pii-sink]
-//! deny = ["body", "ssn", "address"]
+//! [pii-taint]
+//! # "Type.field" entries are typed sources; bare names are the fallback
+//! # used only when the receiver type cannot be resolved.
+//! source_fields = ["SynthDoc.body", "OsnRef.handle", "body", "ssn"]
+//! sink_fns = ["Response::ok"]
+//! sink_methods = ["emit"]
 //! allow_crates = ["synth"]
 //!
-//! [determinism]
-//! ordered_paths = ["crates/engine/src/output.rs"]
+//! [lock-order]
+//! blocking_methods = ["write_all", "accept"]
 //!
 //! [baseline]
 //! entries = [
@@ -20,6 +24,13 @@
 //!     "crates/geo/src/alloc.rs: panic-hygiene: 2",
 //! ]
 //! ```
+//!
+//! Migration note (dox-lint v2): the `[pii-sink]` section (`deny`
+//! identifier fragments) and `[determinism] ordered_paths` are gone —
+//! superseded by the `pii-taint` and `determinism-flow` dataflow rules,
+//! which follow values instead of matching names/paths. Old keys are
+//! ignored if present (the reader skips unknown keys), but should be
+//! deleted.
 
 use std::collections::BTreeMap;
 
@@ -38,16 +49,28 @@ pub struct BaselineEntry {
 /// Parsed configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
-    /// Identifier fragments that may not reach a print/log sink
-    /// unredacted (lowercase).
-    pub pii_deny: Vec<String>,
-    /// Crate directory names (under `crates/`) exempt from `pii-sink` —
-    /// e.g. the synthetic-corpus generator whose whole job is fabricating
+    /// PII taint sources: `Type.field` entries match a field read on a
+    /// resolved receiver type; bare field names are the conservative
+    /// fallback when the receiver type is unknown.
+    pub taint_source_fields: Vec<String>,
+    /// Free/associated functions whose return value is PII-tainted.
+    pub taint_source_fns: Vec<String>,
+    /// `Type::fn` calls that are log/wire sinks.
+    pub taint_sink_fns: Vec<String>,
+    /// Method names that are log/wire sinks on any receiver.
+    pub taint_sink_methods: Vec<String>,
+    /// Crate directory names (under `crates/`) exempt from `pii-taint` —
+    /// the synthetic-corpus generator whose whole job is fabricating
     /// PII-shaped text.
-    pub pii_allow_crates: Vec<String>,
-    /// Files on report-producing paths where `HashMap`/`HashSet` are
-    /// banned because iteration order could reach output.
-    pub ordered_paths: Vec<String>,
+    pub taint_allow_crates: Vec<String>,
+    /// Method names that block (I/O, accept, join) for `lock-order`'s
+    /// "guard held across blocking call" check.
+    pub lock_blocking_methods: Vec<String>,
+    /// Serialization sink functions for `determinism-flow`
+    /// (`module::fn` or bare fn names).
+    pub detflow_sink_fns: Vec<String>,
+    /// Serialization sink methods for `determinism-flow`.
+    pub detflow_sink_methods: Vec<String>,
     /// Grandfathered findings.
     pub baseline: Vec<BaselineEntry>,
 }
@@ -55,15 +78,76 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Self {
-            pii_deny: [
-                "body", "bodies", "raw_text", "ssn", "address", "handle", "handles", "snippet",
-                "phone", "email", "dob",
+            taint_source_fields: [
+                // Typed sources: the synthetic data model's content and
+                // ground-truth fields...
+                "CollectedDoc.body",
+                "SynthDoc.body",
+                "SynthDoc.truth",
+                "OsnRef.handle",
+                "Persona.first_name",
+                "Persona.last_name",
+                "Persona.dob",
+                "Persona.address",
+                // ...and every extractor output field.
+                "ExtractedFields.first_name",
+                "ExtractedFields.last_name",
+                "ExtractedFields.dob",
+                "ExtractedFields.phones",
+                "ExtractedFields.emails",
+                "ExtractedFields.ips",
+                "ExtractedFields.address",
+                "ExtractedFields.zip",
+                "ExtractedFields.ssns",
+                // Bare fallbacks, used only when the receiver type is
+                // unknown to the symbol model.
+                "body",
+                "truth",
+                "handle",
+                "ssn",
+                "ssns",
+                "address",
+                "phone",
+                "phones",
+                "email",
+                "emails",
+                "dob",
             ]
             .iter()
             .map(|s| s.to_string())
             .collect(),
-            pii_allow_crates: vec!["synth".to_string()],
-            ordered_paths: Vec::new(),
+            taint_source_fns: Vec::new(),
+            taint_sink_fns: ["Response::ok", "Response::json", "Response::error"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            taint_sink_methods: ["emit", "hop"].iter().map(|s| s.to_string()).collect(),
+            taint_allow_crates: vec!["synth".to_string()],
+            lock_blocking_methods: [
+                "write_all",
+                "read_exact",
+                "read_to_string",
+                "read_to_end",
+                "read_line",
+                "flush",
+                "accept",
+                "connect",
+                "join",
+                "recv",
+                "recv_timeout",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            detflow_sink_fns: [
+                "serde_json::to_string",
+                "serde_json::to_string_pretty",
+                "serde_json::to_vec",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            detflow_sink_methods: vec!["to_value".to_string()],
             baseline: Vec::new(),
         }
     }
@@ -76,18 +160,29 @@ impl Config {
         let mut config = Config::default();
         for (section, key, value) in parse_toml_subset(text)? {
             match (section.as_str(), key.as_str()) {
-                ("pii-sink", "deny") => {
-                    config.pii_deny = value
-                        .into_strings()?
-                        .into_iter()
-                        .map(|s| s.to_lowercase())
-                        .collect();
+                ("pii-taint", "source_fields") => {
+                    config.taint_source_fields = value.into_strings()?;
                 }
-                ("pii-sink", "allow_crates") => {
-                    config.pii_allow_crates = value.into_strings()?;
+                ("pii-taint", "source_fns") => {
+                    config.taint_source_fns = value.into_strings()?;
                 }
-                ("determinism", "ordered_paths") => {
-                    config.ordered_paths = value.into_strings()?;
+                ("pii-taint", "sink_fns") => {
+                    config.taint_sink_fns = value.into_strings()?;
+                }
+                ("pii-taint", "sink_methods") => {
+                    config.taint_sink_methods = value.into_strings()?;
+                }
+                ("pii-taint", "allow_crates") => {
+                    config.taint_allow_crates = value.into_strings()?;
+                }
+                ("lock-order", "blocking_methods") => {
+                    config.lock_blocking_methods = value.into_strings()?;
+                }
+                ("determinism-flow", "sink_fns") => {
+                    config.detflow_sink_fns = value.into_strings()?;
+                }
+                ("determinism-flow", "sink_methods") => {
+                    config.detflow_sink_methods = value.into_strings()?;
                 }
                 ("baseline", "entries") => {
                     config.baseline = value
@@ -322,7 +417,10 @@ mod tests {
     #[test]
     fn defaults_without_file() {
         let c = Config::default();
-        assert!(c.pii_deny.iter().any(|d| d == "ssn"));
+        assert!(c.taint_source_fields.iter().any(|d| d == "SynthDoc.body"));
+        assert!(c.taint_source_fields.iter().any(|d| d == "ssn"));
+        assert!(c.taint_sink_methods.iter().any(|d| d == "emit"));
+        assert!(c.lock_blocking_methods.iter().any(|d| d == "write_all"));
         assert!(c.baseline.is_empty());
     }
 
@@ -331,14 +429,18 @@ mod tests {
         let c = Config::parse(
             r#"
 # comment
-[pii-sink]
-deny = ["BODY", "ssn"]  # inline comment
+[pii-taint]
+source_fields = ["SynthDoc.body", "ssn"]  # inline comment
+sink_methods = ["emit"]
 allow_crates = ["synth", "demo"]
 
-[determinism]
-ordered_paths = [
-    "crates/engine/src/output.rs",
-    "crates/core/src/report.rs",
+[lock-order]
+blocking_methods = ["accept"]
+
+[determinism-flow]
+sink_fns = [
+    "serde_json::to_string",
+    "to_value",
 ]
 
 [baseline]
@@ -348,9 +450,11 @@ entries = [
 "#,
         )
         .expect("parses");
-        assert_eq!(c.pii_deny, vec!["body", "ssn"]);
-        assert_eq!(c.pii_allow_crates, vec!["synth", "demo"]);
-        assert_eq!(c.ordered_paths.len(), 2);
+        assert_eq!(c.taint_source_fields, vec!["SynthDoc.body", "ssn"]);
+        assert_eq!(c.taint_sink_methods, vec!["emit"]);
+        assert_eq!(c.taint_allow_crates, vec!["synth", "demo"]);
+        assert_eq!(c.lock_blocking_methods, vec!["accept"]);
+        assert_eq!(c.detflow_sink_fns.len(), 2);
         assert_eq!(
             c.baseline,
             vec![BaselineEntry {
@@ -359,6 +463,18 @@ entries = [
                 count: 2
             }]
         );
+    }
+
+    #[test]
+    fn retired_v1_keys_are_ignored() {
+        // `[pii-sink] deny` and `[determinism] ordered_paths` no longer
+        // exist; old configs still parse (unknown keys are skipped) and
+        // leave the defaults intact.
+        let c = Config::parse(
+            "[pii-sink]\ndeny = [\"body\"]\n[determinism]\nordered_paths = [\"x.rs\"]\n",
+        )
+        .expect("parses");
+        assert!(c.taint_source_fields.iter().any(|d| d == "SynthDoc.body"));
     }
 
     #[test]
@@ -372,8 +488,8 @@ entries = [
 
     #[test]
     fn hash_inside_string_is_not_a_comment() {
-        let c = Config::parse("[pii-sink]\ndeny = [\"a#b\"]\n").expect("parses");
-        assert_eq!(c.pii_deny, vec!["a#b"]);
+        let c = Config::parse("[pii-taint]\nsource_fields = [\"a#b\"]\n").expect("parses");
+        assert_eq!(c.taint_source_fields, vec!["a#b"]);
     }
 
     #[test]
@@ -381,7 +497,7 @@ entries = [
         assert!(Config::parse("[open\n").is_err());
         assert!(Config::parse("key value\n").is_err());
         assert!(Config::parse("[baseline]\nentries = [\"no-count\"]").is_err());
-        assert!(Config::parse("[pii-sink]\ndeny = [\n\"open\"").is_err());
+        assert!(Config::parse("[pii-taint]\nsource_fields = [\n\"open\"").is_err());
     }
 
     #[test]

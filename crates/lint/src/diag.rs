@@ -75,6 +75,29 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Render a whole run as a JSON object — live findings, baselined
+/// findings, baseline errors and the file count — for `--format json`
+/// consumers (the check.sh gate writes this to `lint_findings.json`).
+pub fn report_to_json(report: &crate::RunReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "\"files_checked\": {},\n\"findings\": ",
+        report.files_checked
+    ));
+    out.push_str(&to_json(&report.findings));
+    out.push_str(",\n\"baselined\": ");
+    out.push_str(&to_json(&report.baselined));
+    out.push_str(",\n\"baseline_errors\": [");
+    for (i, e) in report.baseline_errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(e)));
+    }
+    out.push_str("]\n}");
+    out
+}
+
 /// Render diagnostics as a JSON array (stable field order).
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[\n");
@@ -118,5 +141,22 @@ mod tests {
     #[test]
     fn empty_list_is_valid_json() {
         assert_eq!(to_json(&[]), "[\n]");
+    }
+
+    #[test]
+    fn report_object_has_all_sections() {
+        let report = crate::RunReport {
+            findings: vec![Diagnostic::new("a.rs", 1, 2, "pii-taint", "m")],
+            baselined: vec![Diagnostic::new("b.rs", 3, 4, "lock-order", "n")],
+            baseline_errors: vec!["stale \"entry\"".to_string()],
+            files_checked: 7,
+        };
+        let j = report_to_json(&report);
+        assert!(j.contains("\"files_checked\": 7"), "{j}");
+        assert!(j.contains("\"findings\""), "{j}");
+        assert!(j.contains("pii-taint"), "{j}");
+        assert!(j.contains("\"baselined\""), "{j}");
+        assert!(j.contains("lock-order"), "{j}");
+        assert!(j.contains("stale \\\"entry\\\""), "{j}");
     }
 }

@@ -7,8 +7,17 @@
 //! content never reaches an unredacted log sink" and "no wall-clock or
 //! unordered-map nondeterminism on report-producing paths" — cannot be
 //! expressed as clippy lints, so this crate machine-checks them, plus
-//! panic hygiene, lock discipline and an unsafe audit, with its own small
-//! Rust lexer (the workspace is offline; no `syn`).
+//! panic hygiene, lock discipline and an unsafe audit. It is
+//! dependency-free (the workspace is offline; no `syn`): its own lexer
+//! feeds an error-tolerant recursive-descent parser ([`parser`]), each
+//! file flattens into a symbol model of functions and struct field
+//! types ([`symbols`]), and the models merge into one workspace-wide
+//! call graph ([`callgraph`]). Fast token rules run per file; three
+//! interprocedural dataflow rules — [`taint`] (PII sources to log/wire
+//! sinks, `redact()` the sole sanitizer), [`lockorder`] (lock-acquisition
+//! cycles and guards held across blocking calls) and [`detflow`]
+//! (hash-ordered iteration into serialization) — run over the merged
+//! model via per-function summaries driven to a fixpoint.
 //!
 //! Run it from the quality gate:
 //!
@@ -27,10 +36,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod detflow;
 pub mod diag;
 pub mod lexer;
+pub mod lockorder;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod walker;
 
 use config::Config;
@@ -61,14 +76,25 @@ impl RunReport {
     }
 }
 
-/// Lint every checkable file under `root` with `config`.
+/// Lint every checkable file under `root` with `config`: token rules
+/// per file, then the workspace-level dataflow rules (`pii-taint`,
+/// `lock-order`, `determinism-flow`) over the merged symbol model.
 pub fn run_workspace(root: &Path, config: &Config) -> std::io::Result<RunReport> {
     let files = walker::collect_files(root)?;
+    let preps: Vec<Prepared> = files.iter().map(Prepared::new).collect();
     let mut all = Vec::new();
-    for file in &files {
-        let prep = Prepared::new(file);
-        all.extend(rules::run_rules(&prep, config));
+    for prep in &preps {
+        all.extend(rules::run_rules(prep, config));
     }
+    let models = preps
+        .iter()
+        .map(|p| symbols::FileModel::build(p.input, &parser::parse_file(&p.code)))
+        .collect();
+    let ws = callgraph::Workspace::build(models);
+    let sup = rules::Suppressions::new(&preps);
+    taint::check(&ws, config, &sup, &mut all);
+    lockorder::check(&ws, config, &sup, &mut all);
+    detflow::check(&ws, config, &sup, &mut all);
     all.sort_by_key(Diagnostic::sort_key);
     Ok(apply_baseline(all, config, files.len()))
 }

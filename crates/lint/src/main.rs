@@ -29,14 +29,20 @@ OPTIONS:
     -h, --help         This message
 
 RULES:
-    panic-hygiene    no unwrap/expect/panic!/unreachable!/todo! in dox-* library code
-    pii-sink         deny-listed identifiers must not reach print/log sinks unredacted
-    determinism      no wall-clock/entropy in library code; no HashMap on report paths
-    lock-discipline  no guards bound to _; no re-locking a held mutex in one scope
-    unsafe-audit     no `unsafe` outside vendor/; crate roots carry forbid(unsafe_code)
+    panic-hygiene     no unwrap/expect/panic!/unreachable!/todo! in dox-* library code
+    pii-taint         dataflow: PII source fields must not reach log/wire sinks
+                      unredacted (redact() is the only sanitizer)
+    determinism       no wall-clock/entropy calls in library code outside crates/obs
+    determinism-flow  dataflow: HashMap/HashSet-iteration values must not reach
+                      serialization unsorted
+    lock-discipline   no guards bound to _; no re-locking a held mutex in one scope
+    lock-order        dataflow: no lock-acquisition-order cycles; no guard held
+                      across blocking I/O or a Condvar wait
+    unsafe-audit      no `unsafe` outside vendor/; crate roots carry forbid(unsafe_code)
 
 Suppress a single line with `// dox-lint:allow(rule) <reason>`; grandfather
-pockets of findings in lint.toml under [baseline] as \"<file>: <rule>: <count>\".";
+pockets of findings in lint.toml under [baseline] as \"<file>: <rule>: <count>\".
+`--format json` emits {files_checked, findings, baselined, baseline_errors}.";
 
 struct Args {
     root: Option<PathBuf>,
@@ -141,7 +147,7 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        println!("{}", diag::to_json(&report.findings));
+        println!("{}", diag::report_to_json(&report));
     } else {
         for d in &report.findings {
             println!("{d}");

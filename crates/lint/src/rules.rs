@@ -18,9 +18,10 @@ use crate::lexer::{lex, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What kind of source file this is, by path convention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FileClass {
     /// Library code under some `src/` (the policed class).
+    #[default]
     Library,
     /// A binary: `src/bin/**` or `src/main.rs`.
     Bin,
@@ -88,6 +89,27 @@ impl<'a> Prepared<'a> {
 
     fn skip(&self, line: u32, rule: &'static str) -> bool {
         self.in_test(line) || self.allowed(line, rule)
+    }
+}
+
+/// Suppression lookup across every prepared file, for the
+/// workspace-level dataflow rules (which emit findings in files other
+/// than the one driving the analysis).
+pub struct Suppressions<'a> {
+    map: BTreeMap<&'a str, &'a Prepared<'a>>,
+}
+
+impl<'a> Suppressions<'a> {
+    /// Index prepared files by workspace-relative path.
+    pub fn new(preps: &'a [Prepared<'a>]) -> Self {
+        Self {
+            map: preps.iter().map(|p| (p.input.rel.as_str(), p)).collect(),
+        }
+    }
+
+    /// Whether `rule` is `dox-lint:allow`ed on `line` of `rel`.
+    pub fn allowed(&self, rel: &str, line: u32, rule: &str) -> bool {
+        self.map.get(rel).is_some_and(|p| p.allowed(line, rule))
     }
 }
 
@@ -220,21 +242,26 @@ fn matching_close(code: &[Token], open_idx: usize, open: char, close: char) -> O
     None
 }
 
-/// Names of every rule, in report order.
-pub const RULE_NAMES: [&str; 5] = [
+/// Names of every rule, in report order. The token-level rules run
+/// per-file from [`run_rules`]; `pii-taint`, `lock-order` and
+/// `determinism-flow` are workspace-level dataflow rules (see the
+/// `taint`, `lockorder` and `detflow` modules).
+pub const RULE_NAMES: [&str; 7] = [
     "panic-hygiene",
-    "pii-sink",
+    "pii-taint",
     "determinism",
+    "determinism-flow",
     "lock-discipline",
+    "lock-order",
     "unsafe-audit",
 ];
 
-/// Run every rule over one prepared file.
-pub fn run_rules(prep: &Prepared<'_>, cfg: &Config) -> Vec<Diagnostic> {
+/// Run every token-level rule over one prepared file. (`_cfg` is kept
+/// for signature stability; the token rules are currently config-free.)
+pub fn run_rules(prep: &Prepared<'_>, _cfg: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     panic_hygiene(prep, &mut out);
-    pii_sink(prep, cfg, &mut out);
-    determinism(prep, cfg, &mut out);
+    determinism(prep, &mut out);
     lock_discipline(prep, &mut out);
     unsafe_audit(prep, &mut out);
     out.sort_by_key(|d| (d.line, d.col, d.rule));
@@ -288,61 +315,9 @@ fn panic_hygiene(prep: &Prepared<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-const SINK_MACROS: [&str; 9] = [
-    "println",
-    "eprintln",
-    "print",
-    "eprint",
-    "format",
-    "format_args",
-    "write",
-    "writeln",
-    "emit",
-];
-
-/// `pii-sink`: deny-listed identifiers (document bodies, extracted
-/// fields) may not reach a formatting/log sink except through
-/// `dox_obs::redact`.
-fn pii_sink(prep: &Prepared<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    const RULE: &str = "pii-sink";
-    if !matches!(prep.input.class, FileClass::Library | FileClass::Bin) {
-        return;
-    }
-    match &prep.input.crate_name {
-        Some(name) if !cfg.pii_allow_crates.contains(name) => {}
-        _ => return,
-    }
-    let code = &prep.code;
-    let mut i = 0usize;
-    while i < code.len() {
-        let tok = &code[i];
-        let is_macro_sink = tok.kind == TokenKind::Ident
-            && SINK_MACROS.contains(&tok.text.as_str())
-            && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
-        let is_emit_method = tok.is_ident("emit")
-            && i > 0
-            && code[i - 1].is_punct('.')
-            && code.get(i + 1).is_some_and(|t| t.is_punct('('));
-        if !(is_macro_sink || is_emit_method) {
-            i += 1;
-            continue;
-        }
-        let open = if is_macro_sink { i + 2 } else { i + 1 };
-        let Some(end) = group_end(code, open) else {
-            i += 1;
-            continue;
-        };
-        if !prep.skip(tok.line, RULE) {
-            scan_sink_group(prep, cfg, &code[open..=end], &tok.text, out);
-        }
-        // Do not re-scan nested sinks (`format!` inside `writeln!` args is
-        // already covered by the outer scan).
-        i = end + 1;
-    }
-}
-
 /// Index of the token closing the group opened at `open` (any of
 /// `(`/`[`/`{`); `None` when `open` is not an opening delimiter.
+#[allow(dead_code)]
 fn group_end(code: &[Token], open: usize) -> Option<usize> {
     let (o, c) = match code.get(open)?.punct()? {
         '(' => ('(', ')'),
@@ -353,74 +328,10 @@ fn group_end(code: &[Token], open: usize) -> Option<usize> {
     matching_close(code, open, o, c)
 }
 
-/// Scan one sink's argument tokens for deny-listed identifiers, skipping
-/// anything wrapped in `redact(…)`.
-fn scan_sink_group(
-    prep: &Prepared<'_>,
-    cfg: &Config,
-    group: &[Token],
-    sink: &str,
-    out: &mut Vec<Diagnostic>,
-) {
-    const RULE: &str = "pii-sink";
-    let mut i = 0usize;
-    while i < group.len() {
-        let tok = &group[i];
-        if tok.is_ident("redact") && group.get(i + 1).is_some_and(|t| t.is_punct('(')) {
-            i = match matching_close(group, i + 1, '(', ')') {
-                Some(end) => end + 1,
-                None => group.len(),
-            };
-            continue;
-        }
-        if prep.allowed(tok.line, RULE) {
-            i += 1;
-            continue;
-        }
-        match tok.kind {
-            TokenKind::Ident => {
-                let lc = tok.text.to_lowercase();
-                if let Some(word) = cfg.pii_deny.iter().find(|w| lc.contains(w.as_str())) {
-                    out.push(Diagnostic::new(
-                        &prep.input.rel,
-                        tok.line,
-                        tok.col,
-                        RULE,
-                        format!(
-                            "identifier `{}` (matches deny-listed {word:?}) reaches `{sink}` \
-                             unredacted — wrap it in dox_obs::redact() or rename it",
-                            tok.text
-                        ),
-                    ));
-                }
-            }
-            TokenKind::Str => {
-                for name in inline_format_args(&tok.text) {
-                    let lc = name.to_lowercase();
-                    if let Some(word) = cfg.pii_deny.iter().find(|w| lc.contains(w.as_str())) {
-                        out.push(Diagnostic::new(
-                            &prep.input.rel,
-                            tok.line,
-                            tok.col,
-                            RULE,
-                            format!(
-                                "inline format arg `{{{name}}}` (matches deny-listed {word:?}) \
-                                 reaches `{sink}` unredacted — wrap it in dox_obs::redact()",
-                            ),
-                        ));
-                    }
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-}
-
 /// Extract the captured identifiers from a format string literal:
 /// `"x {name} {count:>3}"` yields `name`, `count`. `{{` escapes are
 /// skipped, positional/empty captures (`{}`, `{0}`) yield nothing.
-fn inline_format_args(lexeme: &str) -> Vec<String> {
+pub(crate) fn inline_format_args(lexeme: &str) -> Vec<String> {
     let mut names = Vec::new();
     let chars: Vec<char> = lexeme.chars().collect();
     let mut i = 0usize;
@@ -450,61 +361,43 @@ fn inline_format_args(lexeme: &str) -> Vec<String> {
     names
 }
 
-/// `determinism`: wall-clock/OS-entropy calls outside `crates/obs`, and
-/// hashed containers on report-producing paths.
-fn determinism(prep: &Prepared<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+/// `determinism`: wall-clock/OS-entropy calls outside `crates/obs`.
+/// (Unordered-container flow into output is the `determinism-flow`
+/// dataflow rule's job — the old path-list `HashMap` ban is retired.)
+fn determinism(prep: &Prepared<'_>, out: &mut Vec<Diagnostic>) {
     const RULE: &str = "determinism";
     let code = &prep.code;
     let is_library = prep.input.class == FileClass::Library;
     let in_obs = prep.input.crate_name.as_deref() == Some("obs");
-    if is_library && !in_obs {
-        for (i, tok) in code.iter().enumerate() {
-            if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
-                continue;
-            }
-            let path_now = (tok.text == "Instant" || tok.text == "SystemTime")
-                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
-                && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
-            let entropy = tok.text == "thread_rng" || tok.text == "from_entropy";
-            if path_now || entropy {
-                out.push(Diagnostic::new(
-                    &prep.input.rel,
-                    tok.line,
-                    tok.col,
-                    RULE,
-                    format!(
-                        "`{}` is nondeterministic — reports must be pure functions of \
-                         (config, seed); timing-only spans need \
-                         `// dox-lint:allow(determinism) <reason>`",
-                        if path_now {
-                            format!("{}::now", tok.text)
-                        } else {
-                            tok.text.clone()
-                        }
-                    ),
-                ));
-            }
-        }
+    if !is_library || in_obs {
+        return;
     }
-    if cfg.ordered_paths.iter().any(|p| p == &prep.input.rel) {
-        for tok in code {
-            if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
-                continue;
-            }
-            if tok.text == "HashMap" || tok.text == "HashSet" {
-                out.push(Diagnostic::new(
-                    &prep.input.rel,
-                    tok.line,
-                    tok.col,
-                    RULE,
-                    format!(
-                        "`{}` on a report-producing path — iteration order could reach \
-                         output; use BTreeMap/BTreeSet or an explicit sort",
-                        tok.text
-                    ),
-                ));
-            }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || prep.skip(tok.line, RULE) {
+            continue;
+        }
+        let path_now = (tok.text == "Instant" || tok.text == "SystemTime")
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        let entropy = tok.text == "thread_rng" || tok.text == "from_entropy";
+        if path_now || entropy {
+            out.push(Diagnostic::new(
+                &prep.input.rel,
+                tok.line,
+                tok.col,
+                RULE,
+                format!(
+                    "`{}` is nondeterministic — reports must be pure functions of \
+                     (config, seed); timing-only spans need \
+                     `// dox-lint:allow(determinism) <reason>`",
+                    if path_now {
+                        format!("{}::now", tok.text)
+                    } else {
+                        tok.text.clone()
+                    }
+                ),
+            ));
         }
     }
 }
@@ -766,37 +659,6 @@ mod tests {
     }
 
     #[test]
-    fn pii_ident_and_inline_arg_flagged() {
-        let src = "fn f(doc: &D) { eprintln!(\"{}\", doc.body); }\n";
-        assert!(run(src).iter().any(|d| d.rule == "pii-sink"));
-        let inline = "fn f() { let ssn = get(); println!(\"got {ssn}\"); }\n";
-        assert!(run(inline).iter().any(|d| d.rule == "pii-sink"));
-    }
-
-    #[test]
-    fn redact_wrapped_args_pass() {
-        let src = "fn f(doc: &D) { eprintln!(\"{}\", redact(&doc.body)); }\n";
-        assert!(
-            run(src).iter().all(|d| d.rule != "pii-sink"),
-            "{:?}",
-            run(src)
-        );
-    }
-
-    #[test]
-    fn synth_crate_is_exempt_from_pii() {
-        let input = FileInput {
-            rel: "crates/synth/src/x.rs".into(),
-            class: FileClass::Library,
-            crate_name: Some("synth".into()),
-            text: "fn f() { format!(\"{}\", persona.ssn); }\n".into(),
-        };
-        let prep = Prepared::new(&input);
-        let diags = run_rules(&prep, &Config::default());
-        assert!(diags.iter().all(|d| d.rule != "pii-sink"), "{diags:?}");
-    }
-
-    #[test]
     fn instant_now_flagged_in_library_not_obs() {
         let src = "fn f() { let t = Instant::now(); }\n";
         assert!(run(src).iter().any(|d| d.rule == "determinism"));
@@ -813,18 +675,12 @@ mod tests {
     }
 
     #[test]
-    fn hashmap_flagged_only_on_ordered_paths() {
+    fn hashmap_alone_is_not_a_token_finding() {
+        // Merely *using* a HashMap is fine; only its iteration order
+        // reaching serialized output is a problem, and that is the
+        // `determinism-flow` dataflow rule's job now.
         let src = "use std::collections::HashMap;\n";
-        assert!(run(src).is_empty(), "not an ordered path by default");
-        let cfg = Config {
-            ordered_paths: vec!["crates/engine/src/x.rs".into()],
-            ..Config::default()
-        };
-        let input = lib_input(src);
-        let prep = Prepared::new(&input);
-        assert!(run_rules(&prep, &cfg)
-            .iter()
-            .any(|d| d.rule == "determinism"));
+        assert!(run(src).is_empty(), "{:?}", run(src));
     }
 
     #[test]

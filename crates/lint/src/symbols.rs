@@ -1,0 +1,387 @@
+//! Per-file symbol model: flattened functions, struct field types, and
+//! the type environment the dataflow rules evaluate expressions in.
+//!
+//! [`FileModel::build`] flattens a [`ParsedFile`] — impl methods get
+//! their `self` type, functions nested in `#[cfg(test)]` modules are
+//! marked — and records every struct's field types. The models of all
+//! files merge into one workspace-wide [`TypeTable`] so a field chain
+//! like `collected.doc.body` resolves across crate boundaries
+//! (`CollectedDoc.doc → SynthDoc`, `SynthDoc.body → String`).
+//!
+//! [`TypeEnv`] is the per-function scope the rules thread through a
+//! body walk: parameter types seed it, `let` bindings extend it, and
+//! [`TypeEnv::type_of`] resolves the type of a value expression as far
+//! as the model allows (`None` means "unknown" — rules must degrade to
+//! their conservative fallback, never guess).
+
+use crate::parser::{Expr, FnDef, Item, ParsedFile, Ty};
+use crate::rules::{FileClass, FileInput};
+use std::collections::BTreeMap;
+
+/// One function in the flattened model.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The impl type for methods (`Tenant` for `impl Tenant { fn … }`);
+    /// `None` for free functions.
+    pub qual: Option<String>,
+    /// The parsed definition. For methods, the `self` parameter's type
+    /// is filled in with the impl type.
+    pub def: FnDef,
+    /// Whether the fn lives under a `#[cfg(test)]` module.
+    pub cfg_test: bool,
+}
+
+/// The symbol model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Path-derived class.
+    pub class: FileClass,
+    /// Crate directory name for `crates/<name>/…` paths.
+    pub crate_name: Option<String>,
+    /// Struct name → (field → type).
+    pub structs: BTreeMap<String, BTreeMap<String, Ty>>,
+    /// Every function, flattened out of impls and modules.
+    pub fns: Vec<FnInfo>,
+    /// Constructs that degraded during parsing.
+    pub degraded: usize,
+}
+
+impl FileModel {
+    /// Build the model for one parsed file.
+    pub fn build(input: &FileInput, parsed: &ParsedFile) -> Self {
+        let mut model = FileModel {
+            rel: input.rel.clone(),
+            class: input.class,
+            crate_name: input.crate_name.clone(),
+            degraded: parsed.degraded,
+            ..FileModel::default()
+        };
+        collect_items(
+            &parsed.items,
+            None,
+            input.class == FileClass::Test,
+            &mut model,
+        );
+        model
+    }
+}
+
+fn collect_items(items: &[Item], qual: Option<&str>, cfg_test: bool, model: &mut FileModel) {
+    for item in items {
+        match item {
+            Item::Fn(def) => {
+                model.fns.push(FnInfo {
+                    qual: qual.map(str::to_string),
+                    def: with_self_type(def.clone(), qual),
+                    cfg_test,
+                });
+                // Nested items inside the body (rare, but fns defined in
+                // fns exist in tests).
+                if let Some(body) = &def.body {
+                    for stmt in &body.stmts {
+                        if let crate::parser::Stmt::Item(item) = stmt {
+                            collect_items(std::slice::from_ref(item), None, cfg_test, model);
+                        }
+                    }
+                }
+            }
+            Item::Impl { ty, fns } => {
+                for def in fns {
+                    model.fns.push(FnInfo {
+                        qual: Some(ty.clone()),
+                        def: with_self_type(def.clone(), Some(ty)),
+                        cfg_test,
+                    });
+                }
+            }
+            Item::Struct { name, fields } => {
+                let entry = model.structs.entry(name.clone()).or_default();
+                for (field, ty) in fields {
+                    entry.insert(field.clone(), ty.clone());
+                }
+            }
+            Item::Mod {
+                cfg_test: mod_test,
+                items,
+                ..
+            } => {
+                collect_items(items, None, cfg_test || *mod_test, model);
+            }
+            Item::Other => {}
+        }
+    }
+}
+
+/// Fill a method's `self` parameter with the impl type.
+fn with_self_type(mut def: FnDef, qual: Option<&str>) -> FnDef {
+    if let Some(q) = qual {
+        for (name, ty) in &mut def.params {
+            if name == "self" && ty.is_none() {
+                *ty = Some(Ty::simple(q));
+            }
+        }
+    }
+    def
+}
+
+/// Workspace-wide struct field types: struct name → field → type.
+pub type TypeTable = BTreeMap<String, BTreeMap<String, Ty>>;
+
+/// Merge every file's structs into one table. Duplicate struct names
+/// across crates merge their fields (acceptable for analysis: field
+/// names rarely collide with different types in this workspace).
+pub fn merge_type_table(models: &[FileModel]) -> TypeTable {
+    let mut table = TypeTable::new();
+    for model in models {
+        for (name, fields) in &model.structs {
+            let entry = table.entry(name.clone()).or_default();
+            for (field, ty) in fields {
+                entry.entry(field.clone()).or_insert_with(|| ty.clone());
+            }
+        }
+    }
+    table
+}
+
+/// A lexical scope mapping variables to types, backed by the workspace
+/// [`TypeTable`] for field resolution.
+pub struct TypeEnv<'a> {
+    table: &'a TypeTable,
+    rets: Option<&'a BTreeMap<String, Ty>>,
+    vars: Vec<BTreeMap<String, Ty>>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// A fresh environment over the workspace table.
+    pub fn new(table: &'a TypeTable) -> Self {
+        Self {
+            table,
+            rets: None,
+            vars: vec![BTreeMap::new()],
+        }
+    }
+
+    /// Attach the workspace's unambiguous-return-type map, letting
+    /// [`TypeEnv::type_of`] type bare `name(…)` calls.
+    #[must_use]
+    pub fn with_returns(mut self, rets: &'a BTreeMap<String, Ty>) -> Self {
+        self.rets = Some(rets);
+        self
+    }
+
+    /// Seed the environment with a function's parameters.
+    pub fn with_params(table: &'a TypeTable, def: &FnDef) -> Self {
+        let mut env = Self::new(table);
+        for (name, ty) in &def.params {
+            if let Some(ty) = ty {
+                env.bind(name, ty.clone());
+            }
+        }
+        env
+    }
+
+    /// Enter a nested scope (block, closure, match arm).
+    pub fn push(&mut self) {
+        self.vars.push(BTreeMap::new());
+    }
+
+    /// Leave the innermost scope.
+    pub fn pop(&mut self) {
+        if self.vars.len() > 1 {
+            self.vars.pop();
+        }
+    }
+
+    /// Bind `name` to `ty` in the innermost scope.
+    pub fn bind(&mut self, name: &str, ty: Ty) {
+        if let Some(scope) = self.vars.last_mut() {
+            scope.insert(name.to_string(), ty);
+        }
+    }
+
+    /// Look a variable up, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.vars.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// The fields of a struct, if the model knows it.
+    pub fn fields_of(&self, ty: &Ty) -> Option<&BTreeMap<String, Ty>> {
+        self.table.get(&ty.peeled().name)
+    }
+
+    /// Resolve the type of a value expression as far as the model
+    /// allows. `None` means unknown — callers must stay conservative.
+    pub fn type_of(&self, expr: &Expr) -> Option<Ty> {
+        match expr {
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 {
+                    self.lookup(&segs[0]).cloned()
+                } else {
+                    None
+                }
+            }
+            Expr::Field { base, name, .. } => {
+                let base_ty = self.type_of(base)?;
+                self.table.get(&base_ty.peeled().name)?.get(name).cloned()
+            }
+            Expr::Struct { ty, .. } => Some(Ty::simple(ty.clone())),
+            Expr::Call { callee, .. } => {
+                // `Type::new(…)` / `Type::default()` / `Type::from(…)` —
+                // any associated constructor of an uppercase type.
+                if let Expr::Path { segs, .. } = callee.as_ref() {
+                    if segs.len() >= 2 {
+                        let ty = &segs[segs.len() - 2];
+                        if ty.chars().next().is_some_and(char::is_uppercase) {
+                            return Some(Ty::simple(ty.clone()));
+                        }
+                    }
+                    // A workspace fn whose namesakes all declare the same
+                    // return type: `extract(text)` types as ExtractedDox.
+                    if let Some(name) = segs.last() {
+                        if let Some(ret) = self.rets.and_then(|r| r.get(name)) {
+                            return Some(ret.clone());
+                        }
+                    }
+                }
+                None
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                turbofish,
+                ..
+            } => match method.as_str() {
+                "clone" | "as_ref" | "as_mut" | "borrow" | "borrow_mut" => self.type_of(recv),
+                "to_string" | "to_owned" => Some(Ty::simple("String")),
+                "collect" => turbofish.first().cloned(),
+                "lock" | "write" | "read" => {
+                    // `mutex.lock()` yields a guard over the protected
+                    // value: surface it as MutexGuard<T> so `peeled()`
+                    // reaches T.
+                    let recv_ty = self.type_of(recv)?;
+                    let name = &recv_ty.name;
+                    if name == "Mutex" || name == "RwLock" {
+                        Some(Ty {
+                            name: "MutexGuard".to_string(),
+                            args: recv_ty.args.clone(),
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            Expr::Unary { inner } => self.type_of(inner),
+            Expr::Index { base, .. } => {
+                // `vec[i]` / `map[&k]` — element / value type.
+                let base_ty = self.type_of(base)?;
+                let t = base_ty.peeled();
+                match t.name.as_str() {
+                    "Vec" | "VecDeque" | "[slice]" => t.args.first().cloned(),
+                    "BTreeMap" | "HashMap" => t.args.get(1).cloned(),
+                    _ => None,
+                }
+            }
+            Expr::Block(b) => match b.stmts.last() {
+                Some(crate::parser::Stmt::Expr(e)) => self.type_of(e),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn model(rel: &str, src: &str) -> FileModel {
+        let input = FileInput {
+            rel: rel.into(),
+            class: crate::walker::classify(rel),
+            crate_name: crate::walker::crate_name(rel),
+            text: src.into(),
+        };
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let parsed = parse_file(&toks);
+        FileModel::build(&input, &parsed)
+    }
+
+    #[test]
+    fn methods_get_self_type_and_cfg_test_marks() {
+        let m = model(
+            "crates/serve/src/x.rs",
+            r#"
+pub struct Tenant { spec: TenantSpec }
+impl Tenant { fn spec(&self) -> &TenantSpec { &self.spec } }
+#[cfg(test)]
+mod tests { fn helper() {} }
+"#,
+        );
+        assert_eq!(m.fns.len(), 2);
+        let spec = &m.fns[0];
+        assert_eq!(spec.qual.as_deref(), Some("Tenant"));
+        assert_eq!(spec.def.params[0].1.as_ref().unwrap().name, "Tenant");
+        assert!(!spec.cfg_test);
+        assert!(m.fns[1].cfg_test);
+        assert_eq!(m.structs["Tenant"]["spec"].name, "TenantSpec");
+    }
+
+    #[test]
+    fn type_of_resolves_field_chains_across_structs() {
+        let m1 = model(
+            "crates/sites/src/a.rs",
+            "pub struct CollectedDoc { doc: SynthDoc, at: SimTime }",
+        );
+        let m2 = model(
+            "crates/synth/src/b.rs",
+            "pub struct SynthDoc { id: u64, body: String }",
+        );
+        let table = merge_type_table(&[m1, m2]);
+        let mut env = TypeEnv::new(&table);
+        env.bind("collected", Ty::simple("CollectedDoc"));
+        let src = "fn f() { collected.doc.body }";
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let parsed = parse_file(&toks);
+        let Item::Fn(f) = &parsed.items[0] else {
+            panic!("fn")
+        };
+        let crate::parser::Stmt::Expr(chain) = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expr: {:?}", f.body);
+        };
+        assert_eq!(env.type_of(chain).unwrap().name, "String");
+        // And through wrappers: Arc<Mutex<CollectedDoc>> peels.
+        env.bind(
+            "shared",
+            Ty {
+                name: "Arc".into(),
+                args: vec![Ty {
+                    name: "Mutex".into(),
+                    args: vec![Ty::simple("CollectedDoc")],
+                }],
+            },
+        );
+        let ty = env.lookup("shared").unwrap();
+        assert_eq!(ty.peeled().name, "CollectedDoc");
+    }
+
+    #[test]
+    fn constructor_calls_and_collect_turbofish_type() {
+        let table = TypeTable::new();
+        let env = TypeEnv::new(&table);
+        let src = "fn f() { VecDeque::new() }";
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let parsed = parse_file(&toks);
+        let Item::Fn(f) = &parsed.items[0] else {
+            panic!("fn")
+        };
+        let crate::parser::Stmt::Expr(e) = &f.body.as_ref().unwrap().stmts[0] else {
+            panic!("expr")
+        };
+        assert_eq!(env.type_of(e).unwrap().name, "VecDeque");
+    }
+}

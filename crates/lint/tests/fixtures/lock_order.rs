@@ -1,0 +1,36 @@
+//! Fixture: lock-order — an acquisition-order cycle between two mutexes
+//! and a guard held across blocking I/O; the sequential taker is clean.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+pub fn ab(p: &Pair) {
+    let ga = p.a.lock();
+    let gb = p.b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn ba(p: &Pair) {
+    let gb = p.b.lock();
+    let ga = p.a.lock();
+    drop(ga);
+    drop(gb);
+}
+
+pub fn guard_across_io(p: &Pair, path: &std::path::Path) {
+    let ga = p.a.lock();
+    std::fs::write(path, "x");
+    drop(ga);
+}
+
+pub fn sequential_is_fine(p: &Pair) {
+    let ga = p.a.lock();
+    drop(ga);
+    let gb = p.b.lock();
+    drop(gb);
+}

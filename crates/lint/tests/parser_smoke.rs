@@ -1,0 +1,42 @@
+//! Parser smoke test: every checkable `.rs` file in the workspace must
+//! lex, parse and produce a symbol model without panicking, and the
+//! model must not be trivially empty — a parser regression that silently
+//! drops functions would otherwise blind every dataflow rule.
+
+use dox_lint::parser::parse_file;
+use dox_lint::rules::Prepared;
+use dox_lint::symbols::FileModel;
+use dox_lint::walker::{collect_files, find_workspace_root};
+use std::path::Path;
+
+#[test]
+fn every_workspace_file_parses_into_the_model() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let files = collect_files(&root).expect("workspace walks");
+    assert!(files.len() > 100, "suspiciously few files: {}", files.len());
+
+    let mut total_fns = 0usize;
+    let mut total_structs = 0usize;
+    for input in &files {
+        let prep = Prepared::new(input);
+        let parsed = parse_file(&prep.code);
+        let model = FileModel::build(input, &parsed);
+        total_fns += model.fns.len();
+        total_structs += model.structs.len();
+        // Every file with a `fn` token must surface at least one
+        // function in the model (attributes/macros may hide bodies, but
+        // never *all* of them).
+        let fn_tokens = prep.code.iter().filter(|t| t.is_ident("fn")).count();
+        assert!(
+            fn_tokens == 0 || !model.fns.is_empty(),
+            "{}: {} `fn` tokens but an empty model",
+            input.rel,
+            fn_tokens
+        );
+    }
+    // The workspace holds thousands of functions; a collapse of the
+    // symbol model to a fraction of that is a parser bug, not drift.
+    assert!(total_fns > 1000, "only {total_fns} fns modeled");
+    assert!(total_structs > 100, "only {total_structs} structs modeled");
+}

@@ -16,7 +16,8 @@
 //!   Echoing to stderr is a runtime toggle, so `--quiet` is one call.
 //! * **Redaction** — [`redact()`] wraps a sensitive string so only its
 //!   length and a stable fingerprint can reach a sink; `dox-lint`'s
-//!   `pii-sink` rule enforces that document content goes through it.
+//!   `pii-taint` dataflow rule enforces that document content goes
+//!   through it.
 //! * **Traces** — [`Tracer`] follows sampled documents hop by hop
 //!   through the pipeline with seeded ids and sim-clock timestamps, so
 //!   the exported JSONL is byte-identical for a given

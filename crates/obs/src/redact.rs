@@ -5,8 +5,8 @@
 //! OSN handles never reach an event payload or `stderr` verbatim. A
 //! [`Redacted`] wrapper is the only sanctioned way to mention such a
 //! value in a sink — its `Display`/`Debug` render a length and a stable
-//! fingerprint, never the content — and the `pii-sink` rule in
-//! `dox-lint` treats arguments inside a `redact(…)` call as safe.
+//! fingerprint, never the content — and the `pii-taint` rule in
+//! `dox-lint` treats `redact(…)` as the sole taint sanitizer.
 //!
 //! ```
 //! use dox_obs::redact;
