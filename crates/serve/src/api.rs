@@ -115,13 +115,19 @@ impl ServeState {
         let tenants: Vec<Arc<Mutex<Tenant>>> = self.map().values().cloned().collect();
         let mut written = Vec::new();
         for tenant in tenants {
-            let mut tenant = tenant.lock().unwrap_or_else(PoisonError::into_inner);
-            let id = tenant.spec().id.clone();
-            let value = tenant
-                .checkpoint_value()
-                .map_err(|e| format!("tenant '{id}': {e}"))?;
-            let payload =
-                serde_json::to_string(&value).map_err(|e| format!("tenant '{id}': {e}"))?;
+            // Serialize under the tenant lock, but write with it dropped:
+            // a slow disk must not stall every request that hashes to
+            // this tenant for the duration of the write.
+            let (id, payload) = {
+                let mut tenant = tenant.lock().unwrap_or_else(PoisonError::into_inner);
+                let id = tenant.spec().id.clone();
+                let value = tenant
+                    .checkpoint_value()
+                    .map_err(|e| format!("tenant '{id}': {e}"))?;
+                let payload =
+                    serde_json::to_string(&value).map_err(|e| format!("tenant '{id}': {e}"))?;
+                (id, payload)
+            };
             let path = dir.join(format!("tenant_{id}.json"));
             std::fs::write(&path, payload)
                 .map_err(|e| format!("tenant '{id}' -> {}: {e}", path.display()))?;
