@@ -9,6 +9,7 @@ use doxing_repro::core::training::DoxClassifier;
 use doxing_repro::extract::record::extract;
 use doxing_repro::geo::alloc::{AllocConfig, Allocation};
 use doxing_repro::geo::model::{World, WorldConfig};
+use doxing_repro::obs::redact;
 use doxing_repro::synth::config::SynthConfig;
 use doxing_repro::synth::corpus::CorpusGenerator;
 
@@ -50,17 +51,40 @@ dropped by NullFang_3 and @HexMancer_8, thanks to ByteCrow_1 for the SSN info";
 
     // 4. Extract the structured record from the dox (§3.1.3).
     let record = extract(dox);
+    // Extracted values are PII: even a demo prints them through
+    // redact() — length + fingerprint, never the content (the pii-taint
+    // lint holds examples to the same bar as the pipeline).
     println!("\nExtraction record:");
     println!(
-        "  name : {:?} {:?}",
-        record.fields.first_name, record.fields.last_name
+        "  name : {} {}",
+        redact(record.fields.first_name.as_deref().unwrap_or("-")),
+        redact(record.fields.last_name.as_deref().unwrap_or("-"))
     );
     println!("  age  : {:?}", record.fields.age);
-    println!("  phone: {:?}", record.fields.phones);
-    println!("  ip   : {:?}", record.fields.ips);
-    println!("  zip  : {:?}", record.fields.zip);
+    println!("  phone: {}", redact(record.fields.phones.join(", ")));
+    println!(
+        "  ip   : {}",
+        redact(
+            record
+                .fields
+                .ips
+                .iter()
+                .map(|ip| ip.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    );
+    println!(
+        "  zip  : {}",
+        redact(
+            record
+                .fields
+                .zip
+                .map_or_else(|| "-".to_string(), |z| z.to_string())
+        )
+    );
     for osn in &record.osn {
-        println!("  account: {} -> {}", osn.network, osn.handle);
+        println!("  account: {} -> {}", osn.network, redact(&osn.handle));
     }
     for credit in &record.credits {
         println!(
