@@ -18,6 +18,7 @@ use doxing_repro::core::pipeline::Pipeline;
 use doxing_repro::core::training::DoxClassifier;
 use doxing_repro::geo::alloc::{AllocConfig, Allocation};
 use doxing_repro::geo::model::{World, WorldConfig};
+use doxing_repro::obs::redact;
 use doxing_repro::osn::clock::{SimDuration, SimTime};
 use doxing_repro::sites::collect::Collector;
 use doxing_repro::synth::config::SynthConfig;
@@ -143,7 +144,8 @@ fn main() {
         .find_map(|d| d.extracted.fields.phones.first().cloned())
     {
         println!(
-            "dispatch query: callback number {phone} -> {}",
+            "dispatch query: callback number {} -> {}",
+            redact(&phone),
             if watchlist.flag_phone(&phone, now) {
                 "FLAG: number appeared in a recent dox"
             } else {
