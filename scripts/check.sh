@@ -25,7 +25,29 @@ fi
 step "dox-lint --workspace (project static analysis)"
 # Exits nonzero on any non-baselined finding and on stale lint.toml
 # baseline entries (entries matching no finding must be removed).
-cargo run -p dox-lint --release -- --workspace
+# The JSON report is kept for CI annotators and drift diffing, and the
+# run is held to a wall-clock budget: the symbol-aware analyzer walks
+# every workspace file, and a pathological parse (fuel bug, fixpoint
+# blowup) shows up as runtime long before it shows up as wrong output.
+cargo build -q -p dox-lint --release
+lint_started=$(date +%s)
+target/release/dox-lint --workspace --format json > lint_findings.json
+lint_elapsed=$(( $(date +%s) - lint_started ))
+echo "dox-lint wrote lint_findings.json in ${lint_elapsed}s"
+if [ "$lint_elapsed" -gt 10 ]; then
+    echo "dox-lint took ${lint_elapsed}s (budget: 10s)" >&2
+    exit 1
+fi
+
+step "dox-lint self-lint (the analyzer passes its own gate)"
+# No findings — baselined or live — are tolerated in crates/lint: the
+# analyzer's own code is the reference for every rule it enforces.
+if grep -E '"file":"crates/lint/' lint_findings.json >/dev/null; then
+    grep -E '"file":"crates/lint/' lint_findings.json >&2
+    echo "dox-lint findings inside crates/lint itself" >&2
+    exit 1
+fi
+echo "crates/lint is clean"
 
 step "cargo test -p dox-lint -q"
 cargo test -p dox-lint -q
