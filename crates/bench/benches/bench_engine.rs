@@ -12,12 +12,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dox_bench::BenchFixture;
 use dox_core::pipeline::Pipeline;
 use dox_core::training::DoxClassifier;
-use dox_engine::{DoxDetector, Engine, EngineFaults};
+use dox_engine::{DedupSpillConfig, DoxDetector, Engine, EngineFaults, SessionCheckpoint};
 use dox_fault::{FaultPlanConfig, RetryPolicy};
 use dox_obs::{Registry, TraceConfig, Tracer};
 use dox_sites::collect::{CollectedDoc, Collector};
+use dox_store::{Store, Table};
+use serde::Deserialize;
 use std::hint::black_box;
 use std::ops::ControlFlow;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +28,11 @@ const SCALE: f64 = 0.01;
 const TOPOLOGIES: [(usize, usize); 4] = [(1, 1), (1, 8), (2, 8), (4, 8)];
 /// Topology used for the tracing-overhead and per-stage measurements.
 const TRACE_TOPOLOGY: (usize, usize) = (4, 8);
+/// In-memory dedup entries per shard before spilling to the store —
+/// far below the corpus size, so every shard actually pages out.
+const STORE_SPILL_CAP: usize = 4_096;
+/// Documents between durable store checkpoints in the store-backed run.
+const STORE_CHECKPOINT_EVERY: usize = 4_096;
 
 struct EngineFixture {
     classifier: Arc<DoxClassifier>,
@@ -130,6 +138,98 @@ impl EngineFixture {
             .expect("engine finishes")
             .unique_doxes()
             .count()
+    }
+
+    /// The same ingest with dedup shards spilling to the crash-safe
+    /// segment store and a durable (quiesce + commit) checkpoint every
+    /// [`STORE_CHECKPOINT_EVERY`] documents — the full price of
+    /// store-backed durability. Leaves the populated store in `dir` so
+    /// [`EngineFixture::store_resume_seconds`] can measure reopen cost.
+    fn run_engine_store(&self, workers: usize, shards: usize, dir: &Path) -> usize {
+        let _ = std::fs::remove_dir_all(dir);
+        let registry = Registry::new();
+        let store = Arc::new(Store::open(dir, &registry).expect("store opens"));
+        let table: Table<String, String> = Table::new(Arc::clone(&store), "bench");
+        let engine = Engine::builder()
+            .workers(workers)
+            .shards(shards)
+            .build()
+            .expect("valid engine config");
+        let detector: Arc<dyn DoxDetector> = self.classifier.clone();
+        let mut session = engine
+            .session_builder()
+            .detector(detector)
+            .registry(&registry)
+            .spill(DedupSpillConfig {
+                store: Arc::clone(&store),
+                cap_entries: STORE_SPILL_CAP,
+            })
+            .start()
+            .expect("detector set");
+        for (i, (period, doc)) in self.docs.iter().enumerate() {
+            session.ingest(*period, doc.clone()).expect("engine up");
+            if (i + 1) % STORE_CHECKPOINT_EVERY == 0 {
+                let snapshot = session.checkpoint().expect("session quiesces");
+                let json = serde_json::to_string(&snapshot).expect("checkpoint encodes");
+                table
+                    .put(&"checkpoint".to_string(), &json)
+                    .expect("checkpoint stages");
+                store.checkpoint().expect("store commits");
+            }
+        }
+        session
+            .finish()
+            .expect("engine finishes")
+            .unique_doxes()
+            .count()
+    }
+
+    /// Fastest seconds to stand a session back up from the store left
+    /// by [`EngineFixture::run_engine_store`]: open + recover the
+    /// store, read the checkpoint, resume the engine session. This is
+    /// the O(checkpoint) path a `--resume` run takes instead of
+    /// re-ingesting the corpus.
+    fn store_resume_seconds(
+        &self,
+        samples: usize,
+        workers: usize,
+        shards: usize,
+        dir: &Path,
+    ) -> f64 {
+        (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let registry = Registry::new();
+                let store = Arc::new(Store::open(dir, &registry).expect("store reopens"));
+                let table: Table<String, String> = Table::new(Arc::clone(&store), "bench");
+                let json = table
+                    .get(&"checkpoint".to_string())
+                    .expect("checkpoint reads")
+                    .expect("checkpoint exists");
+                let value = serde_json::from_str(&json).expect("checkpoint parses");
+                let checkpoint = SessionCheckpoint::from_value(&value).expect("checkpoint decodes");
+                let engine = Engine::builder()
+                    .workers(workers)
+                    .shards(shards)
+                    .build()
+                    .expect("valid engine config");
+                let detector: Arc<dyn DoxDetector> = self.classifier.clone();
+                let session = engine
+                    .session_builder()
+                    .detector(detector)
+                    .registry(&registry)
+                    .spill(DedupSpillConfig {
+                        store,
+                        cap_entries: STORE_SPILL_CAP,
+                    })
+                    .resume_from(checkpoint)
+                    .start()
+                    .expect("session resumes");
+                black_box(&session);
+                drop(session);
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
     }
 
     fn run_reference(&self) -> usize {
@@ -261,6 +361,27 @@ fn write_json(fixture: &EngineFixture, samples: usize) {
             t / plain
         ));
     }
+    // Store-backed dedup + durable checkpoints at the reference
+    // topology: scripts/store_overhead_gate.sh holds this within 10%
+    // of the plain engine (best-of-N, like the trace gate), and the
+    // resume row records the O(checkpoint) restart the store buys.
+    let store_dir = std::env::temp_dir().join(format!("dox_bench_store_{}", std::process::id()));
+    let t_store = fixture.time_min(samples, |f| f.run_engine_store(tw, ts, &store_dir));
+    entries.push(format!(
+        "    {{ \"config\": \"engine w{tw} s{ts} store-dedup\", \"workers\": {tw}, \
+         \"shards\": {ts}, \"timer\": \"min\", \"seconds\": {t_store:.6}, \
+         \"docs_per_sec\": {:.0}, \"overhead_vs_plain\": {:.3} }}",
+        docs as f64 / t_store,
+        t_store / plain
+    ));
+    let t_resume = fixture.store_resume_seconds(samples, tw, ts, &store_dir);
+    entries.push(format!(
+        "    {{ \"config\": \"engine w{tw} s{ts} store-resume\", \"workers\": {tw}, \
+         \"shards\": {ts}, \"timer\": \"min\", \"seconds\": {t_resume:.6}, \
+         \"resume_vs_full_run\": {:.3} }}",
+        t_resume / t_store
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let json = format!(
         "{{\n  \"bench\": \"engine_ingest\",\n  \"scale\": {SCALE},\n  \"documents\": {docs},\n  \
          \"hardware_threads\": {},\n  \"samples\": {samples},\n  \"per_stage\": [\n{}\n  ],\n  \
@@ -301,6 +422,14 @@ fn bench_engine(c: &mut Criterion) {
         expect,
         "engine tracing every document disagrees with the reference pipeline"
     );
+    let store_dir =
+        std::env::temp_dir().join(format!("dox_bench_store_{}_verify", std::process::id()));
+    assert_eq!(
+        fixture.run_engine_store(TRACE_TOPOLOGY.0, TRACE_TOPOLOGY.1, &store_dir),
+        expect,
+        "engine with store-backed dedup disagrees with the reference pipeline"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);

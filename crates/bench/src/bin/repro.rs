@@ -20,6 +20,11 @@
 //!   --checkpoint-dir <d>  persist resumable checkpoints into <d>
 //!   --checkpoint-every <n> checkpoint cadence in documents (default 10000)
 //!   --resume           resume from the checkpoint in --checkpoint-dir
+//!   --store            store-backed durability: checkpoints and spilled
+//!                      dedup state commit atomically through the
+//!                      crash-safe segment store in --checkpoint-dir
+//!   --spill-cap <n>    in-memory dedup entries per shard before spilling
+//!                      to the store (default 65536; needs --store)
 //!   --trace <path>     export sampled causal traces as JSONL (samples
 //!                      every document unless --trace-sample is given)
 //!   --trace-sample <ppm>  trace sampling rate, documents per million
@@ -68,6 +73,8 @@ struct Args {
     checkpoint_dir: Option<String>,
     checkpoint_every: Option<u64>,
     resume: bool,
+    store: bool,
+    spill_cap: Option<usize>,
     trace: Option<String>,
     trace_sample: Option<u32>,
     telemetry: Option<String>,
@@ -88,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
+        store: false,
+        spill_cap: None,
         trace: None,
         trace_sample: None,
         telemetry: None,
@@ -146,6 +155,11 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--resume" => args.resume = true,
+            "--store" => args.store = true,
+            "--spill-cap" => {
+                let v = it.next().ok_or("--spill-cap needs a value")?;
+                args.spill_cap = Some(v.parse().map_err(|_| format!("bad spill cap {v:?}"))?);
+            }
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a path")?),
             "--trace-sample" => {
                 let v = it.next().ok_or("--trace-sample needs a value")?;
@@ -161,6 +175,12 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.store && args.checkpoint_dir.is_none() {
+        return Err("--store needs --checkpoint-dir".to_string());
+    }
+    if args.spill_cap.is_some() && !args.store {
+        return Err("--spill-cap needs --store".to_string());
     }
     Ok(args)
 }
@@ -198,6 +218,8 @@ const HELP: &str = "repro — regenerate every table/figure of the doxing study
   --checkpoint-dir <d>   persist resumable checkpoints into <d>
   --checkpoint-every <n> checkpoint cadence in documents (default 10000)
   --resume         resume from the checkpoint in --checkpoint-dir
+  --store          crash-safe store-backed checkpoints + dedup spill
+  --spill-cap <n>  in-memory dedup entries per shard before spilling
   --trace <path>   export sampled causal traces as JSONL
   --trace-sample <ppm>   trace sampling rate per million (default: all)
   --telemetry <addr>     serve GET /metrics and /traces on <addr>
@@ -249,6 +271,10 @@ fn main() -> ExitCode {
         config.durability.checkpoint_every_docs = every;
     }
     config.durability.resume = args.resume;
+    config.durability.store = args.store;
+    if let Some(cap) = args.spill_cap {
+        config.durability.spill_cap_entries = cap;
+    }
     if args.trace.is_some() || args.trace_sample.is_some() {
         // `--trace` alone samples everything; `--trace-sample` alone still
         // records (for `--telemetry`'s /traces) without an export file.

@@ -33,7 +33,9 @@ use crate::labeling::{label_sample, LabelingPlan};
 use crate::monitor::{Monitor, Schedule};
 use crate::pipeline::{Pipeline, PipelineCounters, PipelineOutput};
 use crate::training::{ClassifierSummary, DoxClassifier};
-use dox_engine::{DoxDetector, Engine, EngineConfig, EngineFaults, SessionCheckpoint};
+use dox_engine::{
+    DedupSpillConfig, DoxDetector, Engine, EngineConfig, EngineFaults, SessionCheckpoint,
+};
 use dox_extract::accuracy::{evaluate_extractor, ExtractorEvaluation};
 use dox_fault::{BreakerConfig, CoverageGaps, FaultPlanConfig, FaultStats, RetryPolicy};
 use dox_geo::alloc::{AllocConfig, Allocation};
@@ -47,6 +49,7 @@ use dox_osn::filters::{FilterEra, FilterSchedule, StudyPeriods};
 use dox_osn::network::Network;
 use dox_osn::platform::SimOsnWorld;
 use dox_sites::collect::Collector;
+use dox_store::{Store, StoreError, Table as StoreTable};
 use dox_synth::config::SynthConfig;
 use dox_synth::corpus::CorpusGenerator;
 use rand::RngExt;
@@ -70,17 +73,39 @@ pub struct Durability {
     /// Resume from the checkpoint in `checkpoint_dir` instead of starting
     /// fresh.
     pub resume: bool,
+    /// Back the checkpoint and the dedup shards with a [`dox_store`]
+    /// segment store in `checkpoint_dir/store` instead of a monolithic
+    /// `study_checkpoint.json`. Dedup entries past the per-shard memory
+    /// cap spill into the store, checkpoint snapshots shrink to the
+    /// in-memory remainder, and resume cost is O(checkpoint), not
+    /// O(entries ever seen).
+    pub store: bool,
+    /// In-memory dedup entries per shard before spilling to the store
+    /// (0 is treated as the default below; only used with `store`).
+    pub spill_cap_entries: usize,
 }
 
 impl Durability {
     /// Default checkpoint cadence when `checkpoint_every_docs` is 0.
     pub const DEFAULT_EVERY_DOCS: u64 = 10_000;
 
+    /// Default per-shard in-memory dedup cap when `spill_cap_entries`
+    /// is 0.
+    pub const DEFAULT_SPILL_CAP: usize = 65_536;
+
     fn every(&self) -> u64 {
         if self.checkpoint_every_docs == 0 {
             Self::DEFAULT_EVERY_DOCS
         } else {
             self.checkpoint_every_docs
+        }
+    }
+
+    fn spill_cap(&self) -> usize {
+        if self.spill_cap_entries == 0 {
+            Self::DEFAULT_SPILL_CAP
+        } else {
+            self.spill_cap_entries
         }
     }
 }
@@ -300,6 +325,19 @@ impl StudyConfigBuilder {
     /// default cadence).
     pub fn checkpoint_every(mut self, docs: u64) -> Self {
         self.config.durability.checkpoint_every_docs = docs;
+        self
+    }
+
+    /// Back checkpoints and dedup state with a segment store under the
+    /// checkpoint dir (see [`Durability::store`]).
+    pub fn store_backed(mut self, store: bool) -> Self {
+        self.config.durability.store = store;
+        self
+    }
+
+    /// In-memory dedup entries per shard before spilling to the store.
+    pub fn spill_cap(mut self, entries: usize) -> Self {
+        self.config.durability.spill_cap_entries = entries;
         self
     }
 
@@ -767,59 +805,110 @@ impl Study {
             // skips the deliveries the checkpointed engine has already
             // absorbed; periodic checkpoints snapshot the quiesced engine.
             let fingerprint = config_fingerprint(cfg);
-            let checkpoint_path = cfg
-                .durability
-                .checkpoint_dir
-                .as_ref()
-                .map(|d| d.join("study_checkpoint.json"));
+            let store_mode = cfg.durability.store;
+            let checkpoint_path = if store_mode {
+                // Store mode keeps the checkpoint *inside* the store so
+                // one manifest swap commits spilled dedup entries and
+                // the study checkpoint atomically.
+                None
+            } else {
+                cfg.durability
+                    .checkpoint_dir
+                    .as_ref()
+                    .map(|d| d.join("study_checkpoint.json"))
+            };
             let every = cfg.durability.every();
-            // The kill switch models an external SIGKILL; a resumed run
-            // has already "survived" it, so it only arms on fresh runs.
+            // The kill switches model an external SIGKILL; a resumed run
+            // has already "survived" them, so they only arm on fresh runs.
             let kill_after = if cfg.durability.resume {
                 None
             } else {
                 cfg.faults.as_ref().and_then(|p| p.kill_after_docs)
             };
+            let store: Option<Arc<Store>> =
+                match (&cfg.durability.checkpoint_dir, store_mode) {
+                    (Some(dir), true) => {
+                        let store_dir = dir.join("store");
+                        if !cfg.durability.resume {
+                            // A fresh run owns the store directory — stale
+                            // segments from an earlier experiment would
+                            // resurrect dedup state into the new corpus.
+                            let _ = std::fs::remove_dir_all(&store_dir);
+                        }
+                        let store = Store::open(&store_dir, obs)
+                            .map_err(|e| Error::Checkpoint(format!("open store: {e}")))?;
+                        if !cfg.durability.resume {
+                            if let Some((nth, point)) = cfg.faults.as_ref().and_then(|p| {
+                                p.kill_at_store_commit.map(|n| (n, p.kill_store_point))
+                            }) {
+                                store.arm_kill(nth, point);
+                            }
+                        }
+                        Some(Arc::new(store))
+                    }
+                    _ => None,
+                };
+            let ck_table: Option<StoreTable<String, String>> = store
+                .as_ref()
+                .map(|s| StoreTable::new(Arc::clone(s), "study"));
+            let resume_skipped = obs.counter("study.resume.skipped_docs");
+            let resume_replayed = obs.counter("study.resume.replayed_docs");
             let mut skip: u64 = 0;
-            let mut session = if cfg.durability.resume {
-                let path = checkpoint_path.as_ref().ok_or_else(|| {
-                    Error::Checkpoint("resume requested without a checkpoint dir".into())
-                })?;
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| Error::Checkpoint(format!("read {}: {e}", path.display())))?;
-                let loaded: StudyCheckpoint = serde_json::from_str(&text)?;
-                if loaded.fingerprint != fingerprint {
-                    return Err(Error::Checkpoint(format!(
-                        "checkpoint at {} belongs to a different experiment \
-                         (seed, scale, shard count or fault plan changed)",
-                        path.display()
-                    )));
-                }
-                skip = loaded.docs_ingested;
-                obs.events().emit(
-                    Level::Info,
-                    "study",
-                    "resuming from checkpoint",
-                    vec![("docs_ingested".into(), skip.to_string())],
-                );
-                engine
+            let mut session = {
+                let mut builder = engine
                     .session_builder()
                     .detector(detector)
                     .registry(obs)
-                    .tracer(&self.tracer)
-                    .resume_from(loaded.session)
-                    .start()?
-            } else {
-                if let Some(dir) = &cfg.durability.checkpoint_dir {
-                    std::fs::create_dir_all(dir)
-                        .map_err(|e| Error::Checkpoint(format!("create {}: {e}", dir.display())))?;
+                    .tracer(&self.tracer);
+                if let Some(store) = &store {
+                    builder = builder.spill(DedupSpillConfig {
+                        store: Arc::clone(store),
+                        cap_entries: cfg.durability.spill_cap(),
+                    });
                 }
-                engine
-                    .session_builder()
-                    .detector(detector)
-                    .registry(obs)
-                    .tracer(&self.tracer)
-                    .start()?
+                if cfg.durability.resume {
+                    let text = if let Some(table) = &ck_table {
+                        table
+                            .get(&"checkpoint".to_string())
+                            .map_err(|e| Error::Checkpoint(format!("read store checkpoint: {e}")))?
+                            .ok_or_else(|| {
+                                Error::Checkpoint("store holds no checkpoint to resume".into())
+                            })?
+                    } else {
+                        let path = checkpoint_path.as_ref().ok_or_else(|| {
+                            Error::Checkpoint("resume requested without a checkpoint dir".into())
+                        })?;
+                        std::fs::read_to_string(path).map_err(|e| {
+                            Error::Checkpoint(format!("read {}: {e}", path.display()))
+                        })?
+                    };
+                    let loaded: StudyCheckpoint = serde_json::from_str(&text)?;
+                    if loaded.fingerprint != fingerprint {
+                        return Err(Error::Checkpoint(
+                            "checkpoint belongs to a different experiment \
+                             (seed, scale, shard count or fault plan changed)"
+                                .into(),
+                        ));
+                    }
+                    skip = loaded.docs_ingested;
+                    // Debug level: the resume notice must not perturb the
+                    // Info-level event stream, which stays byte-identical
+                    // between a clean run and a killed+resumed one.
+                    obs.events().emit(
+                        Level::Debug,
+                        "study",
+                        "resuming from checkpoint",
+                        vec![("docs_ingested".into(), skip.to_string())],
+                    );
+                    builder.resume_from(loaded.session).start()?
+                } else {
+                    if let Some(dir) = &cfg.durability.checkpoint_dir {
+                        std::fs::create_dir_all(dir).map_err(|e| {
+                            Error::Checkpoint(format!("create {}: {e}", dir.display()))
+                        })?;
+                    }
+                    builder.start()?
+                }
             };
 
             let mut delivered: u64 = 0;
@@ -833,6 +922,9 @@ impl Study {
                     record_dox_event(&mut events, &collected);
                     delivered += 1;
                     if delivered <= skip {
+                        // Replay accounting: the checkpoint already covers
+                        // this doc, so only generation replays, not ingest.
+                        resume_skipped.inc();
                         return ControlFlow::Continue(());
                     }
                     if kill_after.is_some_and(|k| delivered > k) {
@@ -841,28 +933,41 @@ impl Study {
                         halted = true;
                         return ControlFlow::Break(());
                     }
+                    if skip > 0 && delivered <= skip {
+                        // Pinned at zero by the fault matrix: a non-zero
+                        // count means a checkpointed doc reached ingest
+                        // again (O(checkpoint) resume broken).
+                        resume_replayed.inc();
+                    }
                     if let Err(e) = session.ingest(period, collected) {
                         ingest_err = Some(e.into());
                         return ControlFlow::Break(());
                     }
-                    if let Some(path) = &checkpoint_path {
-                        if delivered.is_multiple_of(every) {
-                            match session.checkpoint() {
-                                Ok(snapshot) => {
-                                    let checkpoint = StudyCheckpoint {
-                                        fingerprint,
-                                        docs_ingested: delivered,
-                                        session: snapshot,
-                                    };
-                                    if let Err(e) = write_checkpoint(path, &checkpoint) {
-                                        ingest_err = Some(e);
-                                        return ControlFlow::Break(());
-                                    }
-                                }
-                                Err(e) => {
-                                    ingest_err = Some(e.into());
+                    if (checkpoint_path.is_some() || ck_table.is_some())
+                        && delivered.is_multiple_of(every)
+                    {
+                        match session.checkpoint() {
+                            Ok(snapshot) => {
+                                let checkpoint = StudyCheckpoint {
+                                    fingerprint,
+                                    docs_ingested: delivered,
+                                    session: snapshot,
+                                };
+                                let wrote = if let Some(table) = &ck_table {
+                                    commit_checkpoint_to_store(table, &checkpoint)
+                                } else if let Some(path) = &checkpoint_path {
+                                    write_checkpoint(path, &checkpoint)
+                                } else {
+                                    Ok(())
+                                };
+                                if let Err(e) = wrote {
+                                    ingest_err = Some(e);
                                     return ControlFlow::Break(());
                                 }
+                            }
+                            Err(e) => {
+                                ingest_err = Some(e.into());
+                                return ControlFlow::Break(());
                             }
                         }
                     }
@@ -998,6 +1103,19 @@ impl Study {
             ),
             None => Monitor::with_registry(cfg.schedule.clone(), obs),
         };
+        // Store-backed runs persist the monitor's schedule and probe
+        // cursors: a restored account re-enrolls as a no-op, so a
+        // re-run over an already-monitored store issues zero probes for
+        // covered accounts and still reports identical histories.
+        if cfg.durability.store {
+            if let Some(dir) = &cfg.durability.checkpoint_dir {
+                let store = Store::open(dir.join("store"), obs)
+                    .map_err(|e| Error::Checkpoint(format!("open store for monitor: {e}")))?;
+                monitor
+                    .attach_store(Arc::new(store))
+                    .map_err(|e| Error::Checkpoint(format!("restore monitor state: {e}")))?;
+            }
+        }
         let mut monitored_ids: Vec<AccountId> = Vec::new();
         let unique: Vec<&crate::pipeline::DetectedDox> = output.unique_doxes().collect();
         for d in &unique {
@@ -1063,6 +1181,9 @@ impl Study {
         // Comment streams for monitored accounts, then §5.3.2.
         osn.generate_baseline_comments(&monitored_ids, (periods.period1.0, periods.period2.1));
         let comments = analyze_comments(&osn, &mut monitor);
+        monitor
+            .persist()
+            .map_err(|e| Error::Checkpoint(format!("persist monitor state: {e}")))?;
         obs.events().emit(
             Level::Info,
             "study",
@@ -1220,16 +1341,37 @@ impl Study {
     }
 }
 
-/// Atomically persist a checkpoint: write to a temp file, then rename
-/// into place, so a kill mid-write can never leave a torn checkpoint.
+/// Atomically persist a checkpoint via the shared tmp + fsync + rename
+/// discipline, so a kill mid-write can never leave a torn checkpoint.
 fn write_checkpoint(path: &std::path::Path, checkpoint: &StudyCheckpoint) -> Result<()> {
     let json = serde_json::to_string(checkpoint)?;
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, json)
-        .map_err(|e| Error::Checkpoint(format!("write {}: {e}", tmp.display())))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| Error::Checkpoint(format!("rename to {}: {e}", path.display())))?;
-    Ok(())
+    dox_fault::write_file_atomic(path, json.as_bytes())
+        .map_err(|e| Error::Checkpoint(format!("write {}: {e}", path.display())))
+}
+
+/// Persist a checkpoint into the segment store: the JSON goes into the
+/// `study` table and the store checkpoint's manifest swap commits it
+/// *and* any dedup entries spilled since the last commit in one atomic
+/// step — a crash can never separate the two.
+///
+/// A fault-drill kill armed on this commit surfaces as [`Error::Halted`],
+/// the same way the ingest kill switch does: the process is "dead" and
+/// must resume from the last durable commit.
+fn commit_checkpoint_to_store(
+    table: &StoreTable<String, String>,
+    checkpoint: &StudyCheckpoint,
+) -> Result<()> {
+    let json = serde_json::to_string(checkpoint)?;
+    table
+        .put(&"checkpoint".to_string(), &json)
+        .map_err(|e| Error::Checkpoint(format!("stage store checkpoint: {e}")))?;
+    match table.store().checkpoint() {
+        Ok(()) => Ok(()),
+        Err(StoreError::Killed { .. }) => Err(Error::Halted {
+            docs_ingested: checkpoint.docs_ingested,
+        }),
+        Err(e) => Err(Error::Checkpoint(format!("commit store checkpoint: {e}"))),
+    }
 }
 
 #[cfg(test)]

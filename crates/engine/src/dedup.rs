@@ -29,11 +29,13 @@
 
 use dox_extract::record::ExtractedDox;
 use dox_osn::network::Network;
+use dox_store::{Store, Table};
 use dox_textkit::hashing::fnv1a;
 use dox_textkit::similarity::{hamming, simhash};
 use serde::{Deserialize, Serialize};
 // dox-lint:allow(determinism) see the field-level justifications on `Deduplicator`
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Why a document was marked a duplicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -93,6 +95,62 @@ pub fn shard_of(signature: u64, shards: usize) -> usize {
     (signature % shards.max(1) as u64) as usize
 }
 
+/// Injective byte encoding of an account-set key, used as the store key
+/// for spilled entries. Length-prefixed so handles containing separator
+/// bytes can never alias a different set.
+pub fn account_set_key_bytes(key: &[(Network, String)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(key.len() * 24);
+    for (network, handle) in key {
+        let name = network.name().as_bytes();
+        bytes.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(name);
+        bytes.extend_from_slice(&(handle.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(handle.as_bytes());
+    }
+    bytes
+}
+
+/// Configuration for store-backed dedup spill, handed to
+/// [`SessionBuilder::spill`](crate::SessionBuilder::spill).
+#[derive(Debug, Clone)]
+pub struct DedupSpillConfig {
+    /// The store every shard spills into (distinct tables per shard).
+    pub store: Arc<Store>,
+    /// In-memory entry cap per shard; past it, entries drain to the
+    /// store and memory is cleared.
+    pub cap_entries: usize,
+}
+
+/// Store-backed overflow for one [`Deduplicator`] shard.
+///
+/// Lookups go memory-first, then to the shard's store tables; when the
+/// in-memory maps grow past `cap_entries`, everything drains to the
+/// store and memory starts empty again. Store appends are buffered in
+/// memory until the owning coordinator calls
+/// [`Store::checkpoint`], so the dedup hot path never does file I/O.
+///
+/// Verdicts are unaffected: the union of memory and store entries is
+/// exactly what the unbounded in-memory maps would hold, and a key is
+/// never present in both (inserts happen only after both lookups miss).
+#[derive(Debug)]
+pub struct DedupSpill {
+    bodies: Table<u64, u64>,
+    sets: Table<Vec<u8>, u64>,
+    cap_entries: usize,
+}
+
+impl DedupSpill {
+    /// Spill for shard `shard`, capped at `cap_entries` in-memory
+    /// entries. Shards get disjoint tables so they stay isolated.
+    pub fn new(store: Arc<Store>, shard: usize, cap_entries: usize) -> Self {
+        Self {
+            bodies: Table::new(Arc::clone(&store), &format!("dedup.bodies.{shard}")),
+            sets: Table::new(store, &format!("dedup.sets.{shard}")),
+            cap_entries,
+        }
+    }
+}
+
 /// Streaming de-duplicator.
 ///
 /// ```
@@ -118,6 +176,9 @@ pub struct Deduplicator {
     account_sets: HashMap<Vec<(Network, String)>, u64>,
     /// SimHashes of seen docs (only consulted when fuzzy matching is on).
     simhashes: Vec<(u64, u64)>,
+    /// Store-backed overflow; `None` keeps the classic all-in-memory
+    /// behaviour.
+    spill: Option<DedupSpill>,
     /// Enable the fuzzy third pass with this Hamming threshold.
     pub fuzzy_threshold: Option<u32>,
     /// Counters per kind.
@@ -278,8 +339,72 @@ impl Deduplicator {
             bodies: snapshot.bodies.into_iter().collect(),
             account_sets: snapshot.account_sets.into_iter().collect(),
             simhashes: snapshot.simhashes,
+            spill: None,
             fuzzy_threshold: snapshot.fuzzy_threshold,
             counts: snapshot.counts,
+        }
+    }
+
+    /// Attach store-backed overflow to this deduplicator.
+    ///
+    /// [`snapshot`](Self::snapshot) then carries only the in-memory
+    /// remainder: the full dedup state is the union of the snapshot and
+    /// the store's committed tables, which the owning coordinator makes
+    /// atomic by checkpointing the store and the session snapshot in one
+    /// store commit.
+    ///
+    /// # Panics
+    /// If the fuzzy pass is enabled — SimHash lookups are similarity
+    /// scans, not key lookups, and never spill.
+    pub fn attach_spill(&mut self, spill: DedupSpill) {
+        assert!(
+            self.fuzzy_threshold.is_none(),
+            "dedup spill does not support the fuzzy pass"
+        );
+        self.spill = Some(spill);
+    }
+
+    /// Look `body_hash` up across memory and the spill tables.
+    fn lookup_body(&self, body_hash: u64) -> Option<u64> {
+        if let Some(&orig) = self.bodies.get(&body_hash) {
+            return Some(orig);
+        }
+        let spill = self.spill.as_ref()?;
+        // dox-lint:allow(panic-hygiene) spill reads hit memory or an already-validated segment; failure means the store directory was yanked mid-run, which the engine surfaces as a stage panic
+        spill.bodies.get(&body_hash).expect("dedup spill read")
+    }
+
+    /// Look an account-set key up across memory and the spill tables.
+    fn lookup_set(&self, key: &[(Network, String)]) -> Option<u64> {
+        if let Some(&orig) = self.account_sets.get(key) {
+            return Some(orig);
+        }
+        let spill = self.spill.as_ref()?;
+        spill
+            .sets
+            .get(&account_set_key_bytes(key))
+            // dox-lint:allow(panic-hygiene) spill reads hit memory or an already-validated segment; failure means the store directory was yanked mid-run, which the engine surfaces as a stage panic
+            .expect("dedup spill read")
+    }
+
+    /// Drain all in-memory entries to the spill tables once past the
+    /// cap. Store puts are buffered appends (no file I/O); durability
+    /// comes from the coordinator's store checkpoint.
+    fn maybe_spill(&mut self) {
+        let Some(spill) = &self.spill else { return };
+        if self.bodies.len() + self.account_sets.len() <= spill.cap_entries {
+            return;
+        }
+        for (hash, orig) in self.bodies.drain() {
+            // dox-lint:allow(panic-hygiene) put only appends to the store's in-memory pending buffer; it cannot do I/O
+            spill.bodies.put(&hash, &orig).expect("dedup spill write");
+        }
+        for (key, orig) in self.account_sets.drain() {
+            spill
+                .sets
+                .put(&account_set_key_bytes(&key), &orig)
+                // dox-lint:allow(panic-hygiene) put only appends to the store's in-memory pending buffer; it cannot do I/O
+                .expect("dedup spill write");
         }
     }
 
@@ -295,18 +420,19 @@ impl Deduplicator {
         self.counts.total += 1;
 
         let body_hash = fnv1a(body.as_bytes());
-        if let Some(&orig) = self.bodies.get(&body_hash) {
+        if let Some(orig) = self.lookup_body(body_hash) {
             self.counts.exact += 1;
             return Some((DuplicateKind::ExactBody, orig));
         }
 
         let key = extracted.account_set_key();
         if !key.is_empty() {
-            if let Some(&orig) = self.account_sets.get(&key) {
+            if let Some(orig) = self.lookup_set(&key) {
                 self.counts.account_set += 1;
                 // Remember the body so an exact repost of this duplicate is
                 // still caught by pass 1.
                 self.bodies.insert(body_hash, orig);
+                self.maybe_spill();
                 return Some((DuplicateKind::AccountSet, orig));
             }
         }
@@ -328,6 +454,7 @@ impl Deduplicator {
         if !key.is_empty() {
             self.account_sets.insert(key, doc_id);
         }
+        self.maybe_spill();
         None
     }
 }
@@ -488,6 +615,60 @@ mod tests {
         let a = serde_json::to_string(&build()).expect("serializes");
         let b = serde_json::to_string(&build()).expect("serializes");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spilled_dedup_matches_in_memory_verdicts() {
+        let dir = std::env::temp_dir().join(format!("dox_dedup_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            Arc::new(Store::open(&dir, &dox_obs::Registry::new()).expect("open spill store"));
+
+        let docs: Vec<String> = (0..24)
+            .map(|i| match i % 4 {
+                0 => DOX_A.to_string(),
+                1 => DOX_A_REWORDED.to_string(),
+                2 => DOX_B.to_string(),
+                // A run of distinct originals to push past the cap.
+                _ => format!("unique paste number {i} with no accounts"),
+            })
+            .collect();
+
+        let mut plain = Deduplicator::new();
+        let mut spilled = Deduplicator::new();
+        // A tiny cap forces several drain cycles over this stream.
+        spilled.attach_spill(DedupSpill::new(Arc::clone(&store), 0, 3));
+
+        for (i, body) in docs.iter().enumerate() {
+            let rec = extract(body);
+            assert_eq!(
+                spilled.check(i as u64, body, &rec),
+                plain.check(i as u64, body, &rec),
+                "doc {i}"
+            );
+        }
+        assert_eq!(spilled.counts, plain.counts);
+        // The snapshot carries only the in-memory remainder; the drained
+        // entries live in the store.
+        let remainder = spilled.snapshot();
+        let full = plain.snapshot();
+        assert!(remainder.bodies.len() < full.bodies.len());
+        assert!(!store.is_empty(), "entries drained to the store");
+
+        // Store survives a checkpoint + reopen and still backs verdicts.
+        store.checkpoint().expect("store checkpoint");
+        drop(spilled);
+        drop(store);
+        let store =
+            Arc::new(Store::open(&dir, &dox_obs::Registry::new()).expect("reopen spill store"));
+        let mut restored = Deduplicator::restore(remainder);
+        restored.attach_spill(DedupSpill::new(store, 0, 3));
+        for (i, body) in docs.iter().enumerate() {
+            let rec = extract(body);
+            let verdict = restored.check(100 + i as u64, body, &rec);
+            assert!(verdict.is_some(), "doc {i} was seen before the reopen");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod session;
 pub mod stage;
 
 pub use checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
-pub use dedup::{DedupSnapshot, Deduplicator, DuplicateKind};
+pub use dedup::{DedupSnapshot, DedupSpill, DedupSpillConfig, Deduplicator, DuplicateKind};
 pub use output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
 pub use session::Session;
 pub use stage::{classify_and_extract, DoxDetector, StageLocal, StageMetrics};
@@ -347,6 +347,7 @@ impl Engine {
             registry: None,
             tracer: None,
             resume_from: None,
+            spill: None,
         }
     }
 
@@ -359,6 +360,7 @@ impl Engine {
             classifier,
             dox_obs::global(),
             &Tracer::disabled(),
+            None,
             None,
         )
     }
@@ -377,6 +379,7 @@ impl Engine {
             registry,
             &Tracer::disabled(),
             None,
+            None,
         )
     }
 
@@ -392,7 +395,7 @@ impl Engine {
         registry: &Registry,
         tracer: &Tracer,
     ) -> Session {
-        Session::spawn(&self.config, classifier, registry, tracer, None)
+        Session::spawn(&self.config, classifier, registry, tracer, None, None)
     }
 
     /// Resume a session from a checkpoint, reporting into the
@@ -473,6 +476,9 @@ impl Engine {
 ///   disabled tracer (no causal hops recorded).
 /// * [`resume_from`](SessionBuilder::resume_from) — optional; restores a
 ///   [`SessionCheckpoint`] instead of starting empty.
+/// * [`spill`](SessionBuilder::spill) — optional; backs the dedup shards
+///   with a [`dox_store::Store`] so per-shard memory stays bounded and
+///   resume is O(checkpoint).
 ///
 /// Invalid combinations surface as typed [`EngineError`]s from
 /// [`start`](SessionBuilder::start) rather than panics: a missing
@@ -486,6 +492,7 @@ pub struct SessionBuilder<'e> {
     registry: Option<Registry>,
     tracer: Option<Tracer>,
     resume_from: Option<SessionCheckpoint>,
+    spill: Option<DedupSpillConfig>,
 }
 
 impl std::fmt::Debug for SessionBuilder<'_> {
@@ -496,6 +503,7 @@ impl std::fmt::Debug for SessionBuilder<'_> {
             .field("registry", &self.registry.is_some())
             .field("tracer", &self.tracer.is_some())
             .field("resume_from", &self.resume_from.is_some())
+            .field("spill", &self.spill.is_some())
             .finish()
     }
 }
@@ -527,6 +535,17 @@ impl SessionBuilder<'_> {
     /// workers may differ freely.
     pub fn resume_from(mut self, checkpoint: SessionCheckpoint) -> Self {
         self.resume_from = Some(checkpoint);
+        self
+    }
+
+    /// Back the dedup shards with a store: once a shard's in-memory maps
+    /// grow past the configured cap they drain into per-shard store
+    /// tables, and [`Session::checkpoint`] snapshots only the in-memory
+    /// remainder. The caller owns the store's durability — call
+    /// [`dox_store::Store::checkpoint`] whenever a session checkpoint is
+    /// persisted so the store commit and the snapshot stay atomic.
+    pub fn spill(mut self, spill: DedupSpillConfig) -> Self {
+        self.spill = Some(spill);
         self
     }
 
@@ -564,6 +583,7 @@ impl SessionBuilder<'_> {
             registry,
             tracer,
             self.resume_from,
+            self.spill,
         ))
     }
 }

@@ -58,7 +58,9 @@
 //! in [`PipelineOutput::stage_gap_docs`], never silently dropped.
 
 use crate::checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
-use crate::dedup::{shard_of, shard_signature, Deduplicator, DuplicateKind};
+use crate::dedup::{
+    shard_of, shard_signature, DedupSpill, DedupSpillConfig, Deduplicator, DuplicateKind,
+};
 use crate::output::{DetectedDox, PipelineCounters, PipelineOutput, StagedDoc};
 use crate::queue::Queue;
 use crate::reorder::ReorderBuffer;
@@ -229,7 +231,20 @@ impl Session {
         registry: &Registry,
         tracer: &Tracer,
         restore: Option<SessionCheckpoint>,
+        spill: Option<DedupSpillConfig>,
     ) -> Self {
+        // Each shard gets its own store tables; lookups union memory with
+        // the store, so attaching the spill after a restore is sound.
+        let attach = |shard: usize, mut dedup: Deduplicator| {
+            if let Some(cfg) = &spill {
+                dedup.attach_spill(DedupSpill::new(
+                    Arc::clone(&cfg.store),
+                    shard,
+                    cfg.cap_entries,
+                ));
+            }
+            Mutex::new(dedup)
+        };
         let work: Arc<Queue<WorkChunk>> = Arc::new(Queue::bounded(config.queue_depth));
         let staged: Arc<Queue<StagedChunk>> = Arc::new(Queue::bounded(config.queue_depth));
         let shard_queues: Vec<Arc<Queue<DoxJob>>> = (0..config.shards)
@@ -244,7 +259,7 @@ impl Session {
                 router: Mutex::new(RouterState::default()),
                 committer: Mutex::new(CommitterState::default()),
                 dedups: (0..config.shards)
-                    .map(|_| Mutex::new(Deduplicator::new()))
+                    .map(|shard| attach(shard, Deduplicator::new()))
                     .collect(),
                 progress: Mutex::new(Progress::default()),
                 quiesced: Condvar::new(),
@@ -265,7 +280,8 @@ impl Session {
                 dedups: cp
                     .dedups
                     .into_iter()
-                    .map(|s| Mutex::new(Deduplicator::restore(s)))
+                    .enumerate()
+                    .map(|(shard, s)| attach(shard, Deduplicator::restore(s)))
                     .collect(),
                 // A checkpoint is taken at quiescence: everything dispatched
                 // was routed and committed.

@@ -47,14 +47,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod atomic;
 pub mod backoff;
 pub mod breaker;
 pub mod plan;
 pub mod stats;
 
+pub use atomic::write_file_atomic;
 pub use backoff::{Backoff, RetryPolicy};
 pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerTransitions, CircuitBreaker};
-pub use plan::{Fault, FaultDomain, FaultPlan, FaultPlanConfig, OutageWindow, StageDirective};
+pub use plan::{
+    Fault, FaultDomain, FaultPlan, FaultPlanConfig, OutageWindow, StageDirective, StoreKillPoint,
+};
 pub use stats::{CoverageGaps, FaultStats};
 
 /// SplitMix64 finalizer: the one hash every fault decision and jitter

@@ -78,6 +78,50 @@ impl Deserialize for FaultDomain {
     }
 }
 
+/// Where inside a store checkpoint a simulated SIGKILL lands.
+///
+/// The interesting window for crash-consistency drills is the one the
+/// commit protocol is built around: segment data is written and fsync'd
+/// *before* the manifest swap publishes it, so a kill between the two
+/// must recover to the previous manifest with the tail discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub enum StoreKillPoint {
+    /// Before any segment bytes of this checkpoint reach the file.
+    BeforeSegmentWrite,
+    /// After the segment write + fsync, before the manifest swap — the
+    /// canonical torn-commit window.
+    #[default]
+    BetweenWriteAndSwap,
+    /// After the manifest swap (the commit already happened).
+    AfterManifestSwap,
+}
+
+impl StoreKillPoint {
+    /// Stable lowercase name (plan files, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKillPoint::BeforeSegmentWrite => "before_segment_write",
+            StoreKillPoint::BetweenWriteAndSwap => "between_write_and_swap",
+            StoreKillPoint::AfterManifestSwap => "after_manifest_swap",
+        }
+    }
+}
+
+impl Deserialize for StoreKillPoint {
+    fn from_value(value: &Value) -> Option<Self> {
+        match value.as_str()? {
+            "BeforeSegmentWrite" | "before_segment_write" => {
+                Some(StoreKillPoint::BeforeSegmentWrite)
+            }
+            "BetweenWriteAndSwap" | "between_write_and_swap" => {
+                Some(StoreKillPoint::BetweenWriteAndSwap)
+            }
+            "AfterManifestSwap" | "after_manifest_swap" => Some(StoreKillPoint::AfterManifestSwap),
+            _ => None,
+        }
+    }
+}
+
 /// One injected failure, HTTP-shaped where the analogy holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Fault {
@@ -186,6 +230,12 @@ pub struct FaultPlanConfig {
     /// study surfaces the halt as an explicit error, mimicking a crash at
     /// that point in the stream.
     pub kill_after_docs: Option<u64>,
+    /// Die inside the n-th (1-based) store checkpoint commit — the
+    /// durability twin of `kill_after_docs`, aimed at the segment-write /
+    /// manifest-swap window instead of the ingest stream.
+    pub kill_at_store_commit: Option<u64>,
+    /// Where inside that commit the kill lands.
+    pub kill_store_point: StoreKillPoint,
 }
 
 impl Default for FaultPlanConfig {
@@ -203,6 +253,8 @@ impl Default for FaultPlanConfig {
             slow_chunk_yields: 64,
             poison_chunk_ppm: 0,
             kill_after_docs: None,
+            kill_at_store_commit: None,
+            kill_store_point: StoreKillPoint::default(),
         }
     }
 }
@@ -241,6 +293,13 @@ impl Deserialize for FaultPlanConfig {
                         other => Some(other.as_u64()?),
                     };
                 }
+                "kill_at_store_commit" => {
+                    config.kill_at_store_commit = match v {
+                        Value::Null => None,
+                        other => Some(other.as_u64()?),
+                    };
+                }
+                "kill_store_point" => config.kill_store_point = StoreKillPoint::from_value(v)?,
                 _ => return None,
             }
         }
@@ -263,15 +322,17 @@ impl FaultPlanConfig {
             && self.slow_chunk_ppm == 0
             && self.poison_chunk_ppm == 0
             && self.kill_after_docs.is_none()
+            && self.kill_at_store_commit.is_none()
     }
 
     /// A stable hash of the plan, used to fingerprint checkpoints so a
     /// resume under a *different* plan is rejected instead of silently
     /// diverging.
     ///
-    /// `kill_after_docs` is deliberately excluded: the kill switch is an
-    /// execution event (a simulated SIGKILL), not fault weather, and the
-    /// natural resume workflow re-runs the same plan *without* the kill.
+    /// `kill_after_docs` and `kill_at_store_commit`/`kill_store_point`
+    /// are deliberately excluded: a kill switch is an execution event (a
+    /// simulated SIGKILL), not fault weather, and the natural resume
+    /// workflow re-runs the same plan *without* the kill.
     pub fn fingerprint(&self) -> u64 {
         let mut h = mix(self.seed ^ 0xFA_0717);
         for v in [
@@ -350,6 +411,14 @@ impl FaultPlan {
     /// The configured ingest kill point, if any.
     pub fn kill_after_docs(&self) -> Option<u64> {
         self.config.kill_after_docs
+    }
+
+    /// The configured store-commit kill point, if any: the 1-based
+    /// checkpoint ordinal to die in, and where inside the commit.
+    pub fn kill_at_store_commit(&self) -> Option<(u64, StoreKillPoint)> {
+        self.config
+            .kill_at_store_commit
+            .map(|nth| (nth, self.config.kill_store_point))
     }
 
     fn decision(&self, domain: FaultDomain, target: &str, key: u64, salt: u64) -> u64 {
@@ -578,6 +647,35 @@ mod tests {
         assert_eq!(
             killed.fingerprint(),
             FaultPlanConfig::healthy().fingerprint()
+        );
+        let mut store_killed = FaultPlanConfig::healthy();
+        store_killed.kill_at_store_commit = Some(2);
+        store_killed.kill_store_point = StoreKillPoint::BetweenWriteAndSwap;
+        assert!(!store_killed.is_healthy());
+        // Same rationale as `kill_after_docs`: the store kill is a
+        // simulated crash, not weather, so the resumed twin (no kill)
+        // must accept the checkpoint the killed run committed.
+        assert_eq!(
+            store_killed.fingerprint(),
+            FaultPlanConfig::healthy().fingerprint()
+        );
+    }
+
+    #[test]
+    fn store_kill_config_round_trips_and_rejects_junk() {
+        let parsed: FaultPlanConfig = serde_json::from_str(
+            r#"{"kill_at_store_commit": 3, "kill_store_point": "between_write_and_swap"}"#,
+        )
+        .expect("store kill config");
+        assert_eq!(parsed.kill_at_store_commit, Some(3));
+        assert_eq!(parsed.kill_store_point, StoreKillPoint::BetweenWriteAndSwap);
+        let plan = FaultPlan::new(parsed);
+        assert_eq!(
+            plan.kill_at_store_commit(),
+            Some((3, StoreKillPoint::BetweenWriteAndSwap))
+        );
+        assert!(
+            serde_json::from_str::<FaultPlanConfig>(r#"{"kill_store_point": "sideways"}"#).is_err()
         );
     }
 

@@ -106,6 +106,11 @@ impl EventLog {
     }
 
     /// Record an event; echoes to stderr when enabled.
+    ///
+    /// Only `Info` and louder events reach stderr — `Debug` events stay
+    /// in the ring for snapshots, so diagnostics (like a resume notice)
+    /// never perturb the visible event stream of an otherwise identical
+    /// run.
     pub fn emit(
         &self,
         level: Level,
@@ -120,7 +125,7 @@ impl EventLog {
             message: message.into(),
             fields,
         };
-        if self.echo() {
+        if level >= Level::Info && self.echo() {
             eprintln!("{event}");
         }
         let mut ring = self.ring.lock();
@@ -166,6 +171,20 @@ mod tests {
         assert_eq!(recent[2].seq, 4);
         assert_eq!(log.emitted(), 5);
         assert_eq!(log.dropped(), 2, "evictions are counted, not silent");
+    }
+
+    #[test]
+    fn debug_events_are_retained_for_snapshots() {
+        // Debug never reaches stderr (emit gates the echo on Info+), but
+        // it must still land in the ring for `recent()` snapshots.
+        let log = EventLog::with_capacity(4);
+        log.set_echo(true);
+        log.emit(Level::Debug, "t", "diag", vec![]);
+        log.emit(Level::Info, "t", "progress", vec![]);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].level, Level::Debug);
+        assert_eq!(recent[0].message, "diag");
     }
 
     #[test]

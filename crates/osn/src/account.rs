@@ -23,6 +23,26 @@ pub struct AccountId {
     pub uid: u64,
 }
 
+// The vendored serde cannot derive `Deserialize`; structs round-trip
+// as field objects with unknown fields rejected.
+impl Deserialize for AccountId {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        let mut network = None;
+        let mut uid = None;
+        for (field, v) in value.as_object()? {
+            match field.as_str() {
+                "network" => network = Some(Network::from_value(v)?),
+                "uid" => uid = Some(v.as_u64()?),
+                _ => return None,
+            }
+        }
+        Some(Self {
+            network: network?,
+            uid: uid?,
+        })
+    }
+}
+
 /// The externally observable status of an account.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccountStatus {
@@ -32,6 +52,18 @@ pub enum AccountStatus {
     Private,
     /// Closed, deleted, suspended or otherwise gone.
     Inactive,
+}
+
+// Unit variants round-trip as their variant-name strings.
+impl Deserialize for AccountStatus {
+    fn from_value(value: &serde::value::Value) -> Option<Self> {
+        match value.as_str()? {
+            "Public" => Some(Self::Public),
+            "Private" => Some(Self::Private),
+            "Inactive" => Some(Self::Inactive),
+            _ => None,
+        }
+    }
 }
 
 impl AccountStatus {

@@ -24,6 +24,7 @@ use crate::tenant::{Tenant, TenantSpec};
 use dox_obs::http::{Request, Response, Router};
 use dox_obs::{Registry, Tracer};
 use dox_sites::collect::CollectedDoc;
+use dox_store::{Store, Table as StoreTable};
 use serde::value::{Number, Value};
 use serde::Deserialize;
 use std::collections::BTreeMap;
@@ -33,6 +34,9 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Alert records returned per `GET /v1/alerts` page by default.
 const DEFAULT_ALERT_PAGE: usize = 256;
+
+/// Store table holding one JSON checkpoint per tenant, keyed by id.
+const TENANT_TABLE: &str = "serve.tenants";
 
 /// Shared daemon state: the tenant map and the drain flag.
 ///
@@ -102,22 +106,43 @@ impl ServeState {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Quiesce and checkpoint every tenant into
-    /// `dir/tenant_<id>.json`. Returns the written paths.
+    /// Quiesce every tenant and commit all checkpoints into the segment
+    /// store at `dir/store` with a single manifest swap — the drain is
+    /// all-or-nothing, and a restore after a mid-drain crash sees the
+    /// previous complete tenant set. Returns the drained tenant ids.
+    /// Legacy per-tenant `tenant_<id>.json` files under `dir` are
+    /// removed once the store commit lands (the layout they fed is
+    /// migrated by [`ServeState::restore_checkpoints`]).
     ///
     /// # Errors
-    /// A message naming the first tenant that failed to quiesce or
-    /// whose file failed to write.
-    pub fn drain_checkpoints(&self, dir: &Path) -> Result<Vec<PathBuf>, String> {
+    /// A message naming the first tenant that failed to quiesce, or the
+    /// store operation that failed.
+    pub fn drain_checkpoints(&self, dir: &Path) -> Result<Vec<String>, String> {
         self.begin_drain();
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
+        let store_dir = dir.join("store");
+        let store = Arc::new(
+            Store::open(&store_dir, &self.registry)
+                .map_err(|e| format!("open {}: {e}", store_dir.display()))?,
+        );
+        let table: StoreTable<String, String> = StoreTable::new(Arc::clone(&store), TENANT_TABLE);
+        // Tenants removed since the last drain must not resurrect on
+        // the next restore: clear the table before staging the live set.
+        for (id, _) in table
+            .scan()
+            .map_err(|e| format!("scan {}: {e}", store_dir.display()))?
+        {
+            table
+                .delete(&id)
+                .map_err(|e| format!("clear tenant '{id}': {e}"))?;
+        }
         let tenants: Vec<Arc<Mutex<Tenant>>> = self.map().values().cloned().collect();
-        let mut written = Vec::new();
+        let mut drained = Vec::new();
         for tenant in tenants {
-            // Serialize under the tenant lock, but write with it dropped:
-            // a slow disk must not stall every request that hashes to
-            // this tenant for the duration of the write.
+            // Serialize under the tenant lock, but stage with it
+            // dropped: staging only appends to the store's in-memory
+            // buffer, so no tenant waits on another's quiesce.
             let (id, payload) = {
                 let mut tenant = tenant.lock().unwrap_or_else(PoisonError::into_inner);
                 let id = tenant.spec().id.clone();
@@ -128,22 +153,50 @@ impl ServeState {
                     serde_json::to_string(&value).map_err(|e| format!("tenant '{id}': {e}"))?;
                 (id, payload)
             };
-            let path = dir.join(format!("tenant_{id}.json"));
-            std::fs::write(&path, payload)
-                .map_err(|e| format!("tenant '{id}' -> {}: {e}", path.display()))?;
-            written.push(path);
+            table
+                .put(&id, &payload)
+                .map_err(|e| format!("stage tenant '{id}': {e}"))?;
+            drained.push(id);
         }
-        Ok(written)
+        store
+            .checkpoint()
+            .map_err(|e| format!("commit {}: {e}", store_dir.display()))?;
+        remove_legacy_checkpoints(dir);
+        Ok(drained)
     }
 
-    /// Restore every `tenant_*.json` checkpoint under `dir` (written by
-    /// a previous drain). Returns the restored tenant ids.
+    /// Restore every tenant checkpoint under `dir`: the segment store
+    /// at `dir/store` when one exists, plus any legacy per-tenant
+    /// `tenant_*.json` files whose id the store does not already hold
+    /// (they migrate into the store on the next drain). Returns the
+    /// restored tenant ids.
     ///
     /// # Errors
     /// A message naming the first unreadable, malformed or mismatched
-    /// file.
+    /// checkpoint.
     pub fn restore_checkpoints(&self, dir: &Path) -> Result<Vec<String>, String> {
         let mut restored = Vec::new();
+        let store_dir = dir.join("store");
+        if store_dir.join(dox_store::MANIFEST_NAME).exists() {
+            let store = Arc::new(
+                Store::open(&store_dir, &self.registry)
+                    .map_err(|e| format!("open {}: {e}", store_dir.display()))?,
+            );
+            let table: StoreTable<String, String> = StoreTable::new(store, TENANT_TABLE);
+            for (id, payload) in table
+                .scan()
+                .map_err(|e| format!("scan {}: {e}", store_dir.display()))?
+            {
+                let value: Value =
+                    serde_json::from_str(&payload).map_err(|e| format!("tenant '{id}': {e}"))?;
+                let tenant = Tenant::from_checkpoint_value(&value, &self.registry)
+                    .map_err(|e| format!("tenant '{id}': {e}"))?;
+                if !self.insert(tenant) {
+                    return Err(format!("store tenant '{id}': duplicate"));
+                }
+                restored.push(id);
+            }
+        }
         let entries =
             std::fs::read_dir(dir).map_err(|e| format!("checkpoint dir {}: {e}", dir.display()))?;
         let mut paths: Vec<PathBuf> = entries
@@ -161,6 +214,15 @@ impl ServeState {
                 std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
             let value: Value =
                 serde_json::from_str(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+            // The store is the newer layout; a legacy file whose id it
+            // already holds is a leftover from before the migration.
+            let legacy_id = value
+                .get("spec")
+                .and_then(|s| s.get("id"))
+                .and_then(Value::as_str);
+            if legacy_id.is_some_and(|id| self.get(id).is_some()) {
+                continue;
+            }
             let tenant = Tenant::from_checkpoint_value(&value, &self.registry)
                 .map_err(|e| format!("{}: {e}", path.display()))?;
             let id = tenant.spec().id.clone();
@@ -189,6 +251,27 @@ impl ServeState {
                 400,
                 "multiple tenants resident; name one with ?tenant=<id>",
             )),
+        }
+    }
+}
+
+/// Best-effort removal of pre-store `tenant_<id>.json` checkpoints once
+/// a store commit owns the tenant set. A leftover only shadows ids the
+/// store already restores, so failures here are non-fatal.
+fn remove_legacy_checkpoints(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for path in entries
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.path())
+    {
+        let legacy = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("tenant_") && n.ends_with(".json"));
+        if legacy {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }
@@ -435,5 +518,67 @@ mod tests {
         assert!(!state.draining());
         state.begin_drain();
         assert!(state.draining());
+    }
+
+    fn spec(id: &str) -> TenantSpec {
+        TenantSpec {
+            id: id.to_string(),
+            seed: 11,
+            scale: 0.005,
+            workers: 2,
+            shards: 4,
+        }
+    }
+
+    #[test]
+    fn drain_and_restore_round_trip_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("dox_serve_{}_drain", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::new();
+        let state = ServeState::new(registry.clone());
+        let tenant = Tenant::start(spec("alpha"), &registry).expect("tenant starts");
+        let ingested = tenant.docs_ingested();
+        assert!(state.insert(tenant));
+        let drained = state.drain_checkpoints(&dir).expect("drain");
+        assert_eq!(drained, vec!["alpha".to_string()]);
+        assert!(
+            dir.join("store").join(dox_store::MANIFEST_NAME).exists(),
+            "drain commits through the segment store"
+        );
+
+        // A pre-store checkpoint file beside the store: restore loads
+        // both layouts, the store taking precedence on id clashes.
+        let legacy = Tenant::start(spec("legacy"), &Registry::new()).expect("legacy starts");
+        let legacy_state = ServeState::new(Registry::new());
+        assert!(legacy_state.insert(legacy));
+        let value = lock(&legacy_state.get("legacy").expect("resident"))
+            .checkpoint_value()
+            .expect("checkpoint");
+        std::fs::write(
+            dir.join("tenant_legacy.json"),
+            serde_json::to_string(&value).expect("encode"),
+        )
+        .expect("write legacy file");
+
+        let resumed = ServeState::new(Registry::new());
+        let restored = resumed.restore_checkpoints(&dir).expect("restore");
+        assert_eq!(restored, vec!["alpha".to_string(), "legacy".to_string()]);
+        let alpha = resumed.get("alpha").expect("alpha resident");
+        assert_eq!(lock(&alpha).docs_ingested(), ingested);
+
+        // The next drain migrates the legacy tenant into the store and
+        // removes its file.
+        let drained = resumed.drain_checkpoints(&dir).expect("second drain");
+        assert_eq!(drained, vec!["alpha".to_string(), "legacy".to_string()]);
+        assert!(
+            !dir.join("tenant_legacy.json").exists(),
+            "legacy checkpoint migrated into the store"
+        );
+        let migrated = ServeState::new(Registry::new());
+        let restored = migrated
+            .restore_checkpoints(&dir)
+            .expect("restore migrated");
+        assert_eq!(restored, vec!["alpha".to_string(), "legacy".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

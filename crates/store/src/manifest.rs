@@ -1,0 +1,216 @@
+//! The store manifest: the single atomic commit point.
+//!
+//! Everything durable about a store is published through one JSON file,
+//! replaced with [`dox_fault::write_file_atomic`] (tmp, fsync, rename,
+//! directory fsync). The manifest lists the sealed segments, the
+//! active segment and how many of its bytes are committed, so recovery
+//! is a pure function of the manifest: segment bytes the manifest does
+//! not reference are a torn tail to discard, and segment files it does
+//! not name are garbage from an interrupted rotation or compaction.
+//!
+//! The embedded fingerprint follows the same discipline as the fault
+//! plan and study checkpoints: a stable hash over the content, checked
+//! on load, so a half-edited or bit-rotted manifest is rejected loudly
+//! instead of silently steering recovery.
+
+use crate::StoreError;
+use serde::value::Value;
+use serde::Serialize;
+use std::path::Path;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One sealed (read-only, fully committed) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SegmentMeta {
+    /// Segment id (file `seg-<id>.seg`).
+    pub id: u64,
+    /// Committed length in bytes — the whole file, for a sealed segment.
+    pub len: u64,
+}
+
+/// The durable state of a store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Manifest {
+    /// Format version; mismatches are rejected.
+    pub version: u32,
+    /// Sealed segments in log order (oldest first).
+    pub sealed: Vec<SegmentMeta>,
+    /// Id of the active (append) segment.
+    pub active_id: u64,
+    /// Committed bytes of the active segment; file bytes past this are
+    /// an uncommitted tail.
+    pub active_len: u64,
+    /// Next segment id to allocate.
+    pub next_id: u64,
+}
+
+/// 64-bit splittable hash mix (same shape the fault plan uses).
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Self {
+            version: MANIFEST_VERSION,
+            sealed: Vec::new(),
+            active_id: 1,
+            active_len: 0,
+            next_id: 2,
+        }
+    }
+}
+
+impl Manifest {
+    /// Stable content hash, embedded on write and verified on load.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix(u64::from(self.version) ^ 0x0057_08E5_u64);
+        for seg in &self.sealed {
+            h = mix(h ^ seg.id);
+            h = mix(h ^ seg.len);
+        }
+        h = mix(h ^ self.active_id);
+        h = mix(h ^ self.active_len);
+        mix(h ^ self.next_id)
+    }
+
+    /// Serialize to the on-disk JSON form (fingerprint included).
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Flat {
+            version: u32,
+            fingerprint: u64,
+            sealed: Vec<SegmentMeta>,
+            active_id: u64,
+            active_len: u64,
+            next_id: u64,
+        }
+        serde_json::to_string_pretty(&Flat {
+            version: self.version,
+            fingerprint: self.fingerprint(),
+            sealed: self.sealed.clone(),
+            active_id: self.active_id,
+            active_len: self.active_len,
+            next_id: self.next_id,
+        })
+        .unwrap_or_default()
+    }
+
+    /// Parse and verify the on-disk JSON form.
+    pub fn parse(text: &str) -> Result<Manifest, StoreError> {
+        let corrupt = |detail: &str| StoreError::Corrupt {
+            detail: format!("manifest: {detail}"),
+        };
+        let value: Value = serde_json::from_str(text).map_err(|_| corrupt("not valid JSON"))?;
+        let obj = value.as_object().ok_or_else(|| corrupt("not an object"))?;
+        let mut manifest = Manifest::default();
+        let mut fingerprint = None;
+        let mut saw_version = false;
+        for (field, v) in obj {
+            match field.as_str() {
+                "version" => {
+                    manifest.version =
+                        u32::try_from(v.as_u64().ok_or_else(|| corrupt("bad version"))?)
+                            .map_err(|_| corrupt("bad version"))?;
+                    saw_version = true;
+                }
+                "fingerprint" => {
+                    fingerprint = Some(v.as_u64().ok_or_else(|| corrupt("bad fingerprint"))?);
+                }
+                "sealed" => {
+                    let arr = v.as_array().ok_or_else(|| corrupt("bad sealed list"))?;
+                    manifest.sealed = arr
+                        .iter()
+                        .map(|s| {
+                            let o = s.as_object()?;
+                            let mut id = None;
+                            let mut len = None;
+                            for (k, sv) in o {
+                                match k.as_str() {
+                                    "id" => id = sv.as_u64(),
+                                    "len" => len = sv.as_u64(),
+                                    _ => return None,
+                                }
+                            }
+                            Some(SegmentMeta { id: id?, len: len? })
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| corrupt("bad sealed entry"))?;
+                }
+                "active_id" => {
+                    manifest.active_id = v.as_u64().ok_or_else(|| corrupt("bad active_id"))?;
+                }
+                "active_len" => {
+                    manifest.active_len = v.as_u64().ok_or_else(|| corrupt("bad active_len"))?;
+                }
+                "next_id" => {
+                    manifest.next_id = v.as_u64().ok_or_else(|| corrupt("bad next_id"))?;
+                }
+                other => return Err(corrupt(&format!("unknown field `{other}`"))),
+            }
+        }
+        if !saw_version || manifest.version != MANIFEST_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        match fingerprint {
+            Some(f) if f == manifest.fingerprint() => Ok(manifest),
+            Some(_) => Err(corrupt("fingerprint mismatch")),
+            None => Err(corrupt("missing fingerprint")),
+        }
+    }
+
+    /// Atomically publish this manifest at `path`.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), StoreError> {
+        dox_fault::write_file_atomic(path, self.to_json().as_bytes()).map_err(|source| {
+            StoreError::Io {
+                context: "manifest swap",
+                source,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            sealed: vec![
+                SegmentMeta { id: 1, len: 128 },
+                SegmentMeta { id: 2, len: 64 },
+            ],
+            active_id: 3,
+            active_len: 40,
+            next_id: 4,
+        };
+        let back = Manifest::parse(&manifest.to_json()).expect("parse");
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn tampered_manifest_is_rejected() {
+        let json = Manifest::default().to_json();
+        let tampered = json.replace("\"active_len\": 0", "\"active_len\": 999");
+        assert!(matches!(
+            Manifest::parse(&tampered),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(Manifest::parse("{not json").is_err());
+        assert!(
+            Manifest::parse("{\"version\": 1}").is_err(),
+            "no fingerprint"
+        );
+    }
+}

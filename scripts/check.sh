@@ -76,4 +76,8 @@ step "trace overhead gate (tracing disabled within 2% of the PR 5 baseline)"
 DOX_BENCH_SAMPLES=25 cargo bench -p dox-bench --bench bench_engine -- --test >/dev/null
 scripts/trace_overhead_gate.sh
 
+step "store overhead gate (store-backed dedup within 10% of the plain engine)"
+# Reuses the BENCH_engine.json the trace gate just regenerated.
+scripts/store_overhead_gate.sh
+
 printf '\nAll checks passed.\n'

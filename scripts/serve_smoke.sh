@@ -53,11 +53,14 @@ else
     daemon=""
     exit 1
 fi
-if [ ! -f "$scratch/ckpt/tenant_$TENANT.json" ]; then
-    echo "FAIL: drain left no tenant checkpoint on disk" >&2
+# Tenant checkpoints are rows in the dox-store segment store: the
+# drain commits them all in one manifest swap (DESIGN.md §12.5).
+if [ ! -f "$scratch/ckpt/store/MANIFEST.json" ]; then
+    echo "FAIL: drain left no tenant checkpoint store on disk" >&2
     exit 1
 fi
-echo "checkpoint on disk: $(wc -c < "$scratch/ckpt/tenant_$TENANT.json") bytes"
+echo "checkpoint store on disk:" \
+    "$(cat "$scratch/ckpt/store"/*.seg | wc -c) segment bytes"
 
 step "restart with --resume: finish the stream on the restored tenant"
 "$SERVE" --quiet --addr "$ADDR" --checkpoint-dir "$scratch/ckpt" --resume &

@@ -40,5 +40,6 @@ pub use dox_obs as obs;
 pub use dox_osn as osn;
 pub use dox_serve as serve;
 pub use dox_sites as sites;
+pub use dox_store as store;
 pub use dox_synth as synth;
 pub use dox_textkit as textkit;

@@ -8,14 +8,20 @@
 //!   its checkpoint re-emits the exact bytes of the uninterrupted run;
 //! * a plan with unrecoverable faults degrades **loudly**: the report
 //!   differs, and every missing document is accounted for in
-//!   `report.coverage` — never silently dropped.
+//!   `report.coverage` — never silently dropped;
+//! * the same contracts hold for store-backed durability: a fault-free
+//!   store-backed run, and a run SIGKILLed between the segment write
+//!   and the manifest swap then resumed from the recovered store, are
+//!   both byte-identical to the in-memory run — with zero checkpointed
+//!   documents replayed through ingest and the Info-level event stream
+//!   unchanged.
 
 use doxing_repro::core::report::to_json;
 use doxing_repro::core::study::{StudyConfig, StudyConfigBuilder};
 use doxing_repro::core::{Error, Study};
 use doxing_repro::engine::EngineConfig;
-use doxing_repro::fault::{FaultDomain, FaultPlanConfig, OutageWindow};
-use doxing_repro::obs::Registry;
+use doxing_repro::fault::{FaultDomain, FaultPlanConfig, OutageWindow, StoreKillPoint};
+use doxing_repro::obs::{Level, Registry};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
@@ -137,6 +143,101 @@ fn kill_and_resume_reproduces_the_report_byte_for_byte() {
             clean_json(workers, shards),
             "(workers={workers}, shards={shards}) kill + resume must \
              re-emit the exact bytes of the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The Info-and-louder event stream, rendered exactly as `emit` echoes
+/// it to stderr. Sequence numbers are not compared — a resumed run
+/// spends one on its Debug-level resume notice.
+fn info_stream(registry: &Registry) -> Vec<String> {
+    registry
+        .events()
+        .recent()
+        .iter()
+        .filter(|e| e.level >= Level::Info)
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn store_backed_kill_mid_commit_and_resume_is_byte_identical() {
+    for (workers, shards) in TOPOLOGIES {
+        let dir = scratch_dir(&format!("store_{workers}x{shards}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A tiny spill cap so every shard actually pages dedup state
+        // out to the store instead of keeping the run in memory.
+        let store_base = |b: StudyConfigBuilder| {
+            b.checkpoint_dir(&dir)
+                .checkpoint_every(400)
+                .store_backed(true)
+                .spill_cap(64)
+        };
+
+        // Store-backed run under the recoverable storm: spilling and
+        // store checkpoints must not change a byte of the report. This
+        // run doubles as the uninterrupted comparator for the resumed
+        // run's event stream below (same plan, so the same summary).
+        let clean_registry = Registry::new();
+        let clean = Study::with_registry(
+            store_base(base(workers, shards).faults(recoverable_plan())).build(),
+            clean_registry.clone(),
+        )
+        .run()
+        .expect("store-backed study runs");
+        assert_eq!(
+            to_json(&clean).expect("report serializes"),
+            clean_json(workers, shards),
+            "(workers={workers}, shards={shards}) store-backed run must \
+             be byte-identical to the in-memory fault-free run"
+        );
+
+        // SIGKILL the second store commit between the segment write and
+        // the manifest swap: the torn commit must roll back to the
+        // first checkpoint on reopen.
+        let _ = std::fs::remove_dir_all(&dir);
+        let killed_plan = FaultPlanConfig {
+            kill_at_store_commit: Some(2),
+            kill_store_point: StoreKillPoint::BetweenWriteAndSwap,
+            ..recoverable_plan()
+        };
+        let killed_cfg = store_base(base(workers, shards).faults(killed_plan)).build();
+        match Study::with_registry(killed_cfg, Registry::new()).run() {
+            Err(Error::Halted { .. }) => {}
+            other => panic!("expected the store kill drill to halt the run, got {other:?}"),
+        }
+
+        let resumed_cfg = store_base(base(workers, shards).faults(recoverable_plan()))
+            .resume(true)
+            .build();
+        let registry = Registry::new();
+        let resumed = Study::with_registry(resumed_cfg, registry.clone())
+            .run()
+            .expect("resumed store-backed study runs");
+        assert_eq!(
+            to_json(&resumed).expect("report serializes"),
+            clean_json(workers, shards),
+            "(workers={workers}, shards={shards}) store kill + resume \
+             must re-emit the exact bytes of the uninterrupted run"
+        );
+        assert_eq!(
+            registry.counter("study.resume.replayed_docs").get(),
+            0,
+            "(workers={workers}, shards={shards}) resume must replay \
+             zero checkpointed documents through ingest"
+        );
+        assert_eq!(
+            registry.counter("study.resume.skipped_docs").get(),
+            400,
+            "(workers={workers}, shards={shards}) the torn second commit \
+             must roll back to the first checkpoint (400 docs)"
+        );
+        assert_eq!(
+            info_stream(&registry),
+            info_stream(&clean_registry),
+            "(workers={workers}, shards={shards}) resume must not \
+             perturb the Info-level event stream"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
