@@ -47,7 +47,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use event::{Event, EventLog, Level};
-pub use http::{HttpServer, Request, Response, Router};
+pub use http::{HttpServer, Request, Response, Router, ServerConfig};
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, Registry};
 pub use redact::{redact, Redacted};
 pub use snapshot::{HistogramSnapshot, Snapshot};

@@ -12,14 +12,21 @@
 //! | GET    | `/v1/victims/:id`   | Victim lookup by account-set fingerprint |
 //! | GET    | `/v1/accounts/:id`  | Account lookup by `network:handle` fingerprint |
 //! | GET    | `/v1/alerts`        | Cursor-paged stream of committed doxes |
+//! | GET    | `/healthz`          | Liveness (always `200` while the process serves) |
+//! | GET    | `/readyz`           | Readiness (`503` the instant a drain begins) |
 //! | GET    | `/metrics`          | Telemetry snapshot + rolling rates |
 //! | GET    | `/traces`           | Recent causal traces |
 //!
 //! Requests that name no tenant (`?tenant=` / `"tenant"` field) are
 //! routed to the sole tenant when exactly one exists, `400` otherwise.
 //! Wrong-method hits on known paths get `405` with an `Allow` header,
-//! oversized bodies `413`, and mutating requests during a drain `503`.
+//! oversized bodies `413`, ingests over a tenant's quota `429` +
+//! `Retry-After`, and mutating requests during a drain `503`. Mutating
+//! handlers pass through [`ServeState::admit_mutation`], whose guard
+//! [`ServeState::begin_drain`] waits on — an admitted ingest always
+//! reaches the checkpoint that follows a drain (no torn drain).
 
+use crate::quota::QuotaState;
 use crate::tenant::{Tenant, TenantSpec};
 use dox_obs::http::{Request, Response, Router};
 use dox_obs::{Registry, Tracer};
@@ -30,7 +37,8 @@ use serde::Deserialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Alert records returned per `GET /v1/alerts` page by default.
 const DEFAULT_ALERT_PAGE: usize = 256;
@@ -47,7 +55,15 @@ const TENANT_TABLE: &str = "serve.tenants";
 pub struct ServeState {
     registry: Registry,
     tenants: Mutex<BTreeMap<String, Arc<Mutex<Tenant>>>>,
+    /// Live quota enforcement, keyed by tenant id; only tenants whose
+    /// spec actually limits an axis have an entry.
+    quotas: Mutex<BTreeMap<String, Arc<QuotaState>>>,
     draining: AtomicBool,
+    /// Mutating requests currently past admission ([`MutationGuard`]s
+    /// alive). [`ServeState::begin_drain`] waits for this to hit zero
+    /// so a drain checkpoint can never tear an admitted ingest.
+    mutations: Mutex<u64>,
+    quiesced: Condvar,
 }
 
 impl ServeState {
@@ -56,7 +72,10 @@ impl ServeState {
         Self {
             registry,
             tenants: Mutex::new(BTreeMap::new()),
+            quotas: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
+            mutations: Mutex::new(0),
+            quiesced: Condvar::new(),
         }
     }
 
@@ -75,20 +94,47 @@ impl ServeState {
     }
 
     /// Insert a started tenant; `false` (and no insert) when the id is
-    /// already taken.
+    /// already taken. A limiting quota in the spec gets its live
+    /// [`QuotaState`] here, so create and restore share one path.
     pub fn insert(&self, tenant: Tenant) -> bool {
         let id = tenant.spec().id.clone();
+        let quota = tenant
+            .spec()
+            .quota
+            .filter(crate::quota::QuotaSpec::is_limiting);
         let mut map = self.map();
         if map.contains_key(&id) {
             return false;
+        }
+        if let Some(spec) = quota {
+            self.quotas
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(
+                    id.clone(),
+                    Arc::new(QuotaState::new(spec, &id, &self.registry)),
+                );
         }
         map.insert(id, Arc::new(Mutex::new(tenant)));
         true
     }
 
-    /// Remove a tenant, dropping its resident session.
+    /// Remove a tenant, dropping its resident session and quota state.
     pub fn remove(&self, id: &str) -> bool {
+        self.quotas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(id);
         self.map().remove(id).is_some()
+    }
+
+    /// The live quota state for a tenant, when its spec limits one.
+    pub fn quota(&self, id: &str) -> Option<Arc<QuotaState>> {
+        self.quotas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
     }
 
     /// Current tenant ids, sorted.
@@ -96,14 +142,47 @@ impl ServeState {
         self.map().keys().cloned().collect()
     }
 
-    /// Enter drain mode: mutating endpoints answer `503` from now on.
+    /// Enter drain mode and quiesce: mutating endpoints answer `503`
+    /// (and `/readyz` flips unready) the moment the flag lands, then
+    /// this blocks until every already-admitted mutation has finished.
+    /// Admission and the in-flight count share one mutex, so a request
+    /// either completes before this returns or never got in — the
+    /// checkpoint that follows can't tear an admitted ingest.
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+        let mut inflight = self
+            .mutations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *inflight > 0 {
+            // Timed wait so a lost notify can only delay, never hang,
+            // the drain.
+            inflight = self
+                .quiesced
+                .wait_timeout(inflight, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// Whether the daemon is draining.
     pub fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Admit one mutating request, or refuse because a drain has begun.
+    /// The guard marks the mutation in flight until dropped;
+    /// [`ServeState::begin_drain`] waits for all of them.
+    pub fn admit_mutation(&self) -> Option<MutationGuard<'_>> {
+        let mut inflight = self
+            .mutations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if self.draining() {
+            return None;
+        }
+        *inflight += 1;
+        Some(MutationGuard { state: self })
     }
 
     /// Quiesce every tenant and commit all checkpoints into the segment
@@ -235,22 +314,46 @@ impl ServeState {
     }
 
     /// Resolve the tenant a request addresses: the explicit name when
-    /// given, otherwise the sole resident tenant.
-    fn resolve(&self, explicit: Option<&str>) -> Result<Arc<Mutex<Tenant>>, Response> {
+    /// given, otherwise the sole resident tenant. Returns the id with
+    /// the handle so callers can reach per-tenant state (quotas,
+    /// metrics) without taking the tenant lock.
+    fn resolve(&self, explicit: Option<&str>) -> Result<(String, Arc<Mutex<Tenant>>), Response> {
         if let Some(id) = explicit {
             return self
                 .get(id)
+                .map(|tenant| (id.to_string(), tenant))
                 .ok_or_else(|| Response::error(404, &format!("unknown tenant '{id}'")));
         }
         let map = self.map();
-        let mut tenants = map.values();
+        let mut tenants = map.iter();
         match (tenants.next(), tenants.next()) {
             (None, _) => Err(Response::error(404, "no tenants resident")),
-            (Some(sole), None) => Ok(Arc::clone(sole)),
+            (Some((id, sole)), None) => Ok((id.clone(), Arc::clone(sole))),
             _ => Err(Response::error(
                 400,
                 "multiple tenants resident; name one with ?tenant=<id>",
             )),
+        }
+    }
+}
+
+/// One admitted mutating request; dropping it lets a waiting drain
+/// proceed once the count returns to zero.
+#[derive(Debug)]
+pub struct MutationGuard<'a> {
+    state: &'a ServeState,
+}
+
+impl Drop for MutationGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .state
+            .mutations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *inflight = inflight.saturating_sub(1);
+        if *inflight == 0 {
+            self.state.quiesced.notify_all();
         }
     }
 }
@@ -306,12 +409,28 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
     let victim_state = Arc::clone(&state);
     let account_state = Arc::clone(&state);
     let alerts_state = Arc::clone(&state);
+    let ready_state = Arc::clone(&state);
 
     Router::new()
-        .route("POST", "/v1/tenants", move |req: &Request| {
-            if create_state.draining() {
-                return Response::error(503, "draining");
+        .route("GET", "/healthz", |_req| {
+            // Liveness: the process is up and serving; never gated on
+            // drain so an orchestrator won't kill a draining daemon.
+            Response::ok("{\"status\":\"ok\"}")
+        })
+        .route("GET", "/readyz", move |_req| {
+            // Readiness: flips unready the same instant mutating routes
+            // start answering 503 (both read the drain flag), so a load
+            // balancer stops routing before clients see the refusals.
+            if ready_state.draining() {
+                Response::error(503, "draining")
+            } else {
+                Response::ok("{\"status\":\"ready\"}")
             }
+        })
+        .route("POST", "/v1/tenants", move |req: &Request| {
+            let Some(_admitted) = create_state.admit_mutation() else {
+                return Response::error(503, "draining");
+            };
             let value = match parse_json(&req.body) {
                 Ok(v) => v,
                 Err(response) => return response,
@@ -366,9 +485,9 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
             )
         })
         .route("DELETE", "/v1/tenants/:id", move |req: &Request| {
-            if delete_state.draining() {
+            let Some(_admitted) = delete_state.admit_mutation() else {
                 return Response::error(503, "draining");
-            }
+            };
             let id = req.param("id").unwrap_or_default();
             if delete_state.remove(id) {
                 Response::ok(format!("{{\"removed\":\"{id}\"}}"))
@@ -377,9 +496,11 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
             }
         })
         .route("POST", "/v1/ingest", move |req: &Request| {
-            if ingest_state.draining() {
+            // Decision ladder (DESIGN.md §13): drain admission first,
+            // then parse, then the tenant's quota, then the engine.
+            let Some(_admitted) = ingest_state.admit_mutation() else {
                 return Response::error(503, "draining");
-            }
+            };
             let value = match parse_json(&req.body) {
                 Ok(v) => v,
                 Err(response) => return response,
@@ -388,7 +509,7 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
                 .get("tenant")
                 .and_then(Value::as_str)
                 .or_else(|| req.query_param("tenant"));
-            let tenant = match ingest_state.resolve(explicit) {
+            let (tenant_id, tenant) = match ingest_state.resolve(explicit) {
                 Ok(t) => t,
                 Err(response) => return response,
             };
@@ -401,6 +522,25 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
             };
             let Some(raw_docs) = value.get("docs").and_then(Value::as_array) else {
                 return Response::error(400, "docs must be an array of collected documents");
+            };
+            // Quota check before the (expensive) per-doc parse: the doc
+            // count and body size are already known, and a refused
+            // request must cost near-nothing.
+            let _quota_admission = match ingest_state.quota(&tenant_id) {
+                None => None,
+                Some(quota) => {
+                    match QuotaState::admit(&quota, raw_docs.len() as u64, req.body.len() as u64) {
+                        Ok(admission) => Some(admission),
+                        Err(retry_after) => {
+                            // dox-lint:allow(pii-taint) refusal names only the validated tenant id, never request content
+                            return Response::error(
+                                429,
+                                &format!("tenant '{tenant_id}' over ingest quota"),
+                            )
+                            .retry_after(retry_after);
+                        }
+                    }
+                }
             };
             let mut docs = Vec::with_capacity(raw_docs.len());
             for (i, raw) in raw_docs.iter().enumerate() {
@@ -422,7 +562,7 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
             }
         })
         .route("GET", "/v1/report", move |req: &Request| {
-            let tenant = match report_state.resolve(req.query_param("tenant")) {
+            let (_, tenant) = match report_state.resolve(req.query_param("tenant")) {
                 Ok(t) => t,
                 Err(response) => return response,
             };
@@ -437,7 +577,7 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
                 Ok(fp) => fp,
                 Err(response) => return response,
             };
-            let tenant = match victim_state.resolve(req.query_param("tenant")) {
+            let (_, tenant) = match victim_state.resolve(req.query_param("tenant")) {
                 Ok(t) => t,
                 Err(response) => return response,
             };
@@ -454,7 +594,7 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
                 Ok(fp) => fp,
                 Err(response) => return response,
             };
-            let tenant = match account_state.resolve(req.query_param("tenant")) {
+            let (_, tenant) = match account_state.resolve(req.query_param("tenant")) {
                 Ok(t) => t,
                 Err(response) => return response,
             };
@@ -467,7 +607,7 @@ pub fn router(state: Arc<ServeState>, tracer: &Tracer) -> Router {
             }
         })
         .route("GET", "/v1/alerts", move |req: &Request| {
-            let tenant = match alerts_state.resolve(req.query_param("tenant")) {
+            let (_, tenant) = match alerts_state.resolve(req.query_param("tenant")) {
                 Ok(t) => t,
                 Err(response) => return response,
             };
@@ -527,7 +667,29 @@ mod tests {
             scale: 0.005,
             workers: 2,
             shards: 4,
+            quota: None,
         }
+    }
+
+    #[test]
+    fn admit_mutation_refuses_after_drain_and_drain_waits_for_guards() {
+        let state = Arc::new(ServeState::new(Registry::new()));
+        let guard = state.admit_mutation().expect("admitted before drain");
+        // A drain started while the mutation is in flight must block
+        // until the guard drops.
+        let drainer = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || state.begin_drain())
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!drainer.is_finished(), "drain waits for in-flight guard");
+        assert!(
+            state.admit_mutation().is_none(),
+            "new mutations refused the moment the drain flag lands"
+        );
+        drop(guard);
+        drainer.join().expect("drain completes");
+        assert!(state.draining());
     }
 
     #[test]

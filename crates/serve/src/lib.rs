@@ -22,7 +22,12 @@
 //! * [`api`] — the route table over [`dox_obs::http`]: tenant CRUD,
 //!   batch ingest with per-document verdicts, victim/account lookups,
 //!   the cursor-paged alert stream, and the full report. The telemetry
-//!   routes (`/metrics`, `/traces`) are mounted on the same port.
+//!   routes (`/metrics`, `/traces`) are mounted on the same port,
+//!   alongside `/healthz` (liveness) and `/readyz` (flips unready the
+//!   instant a drain begins).
+//! * [`quota`] — per-tenant ingest quotas (token-bucket docs/s plus an
+//!   in-flight byte cap) answering `429` + `Retry-After` on breach; the
+//!   fairness half of the overload policy (DESIGN.md §13).
 //! * The `dox-serve` binary — CLI flags, SIGTERM drain (checkpoint
 //!   every tenant, then exit), and `--resume` restore.
 //!
@@ -34,7 +39,9 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod quota;
 pub mod tenant;
 
 pub use api::{router, ServeState};
+pub use quota::{QuotaSpec, QuotaState};
 pub use tenant::{AlertRecord, IngestOutcome, Tenant, TenantSpec};

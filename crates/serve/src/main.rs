@@ -8,6 +8,9 @@
 //!                         picks an ephemeral port, printed on startup)
 //!   --http-workers <n>    connection worker threads (default 8)
 //!   --max-body <bytes>    request body limit (default 4 MiB)
+//!   --max-backlog <n>     connections allowed to wait for a worker;
+//!                         overflow is shed with 503 (default 1024)
+//!   --deadline-ms <ms>    per-request wall-clock budget (default 30000)
 //!   --checkpoint-dir <d>  where SIGTERM drain writes tenant_<id>.json
 //!   --resume              restore every tenant checkpoint from
 //!                         --checkpoint-dir before serving
@@ -21,7 +24,7 @@
 //! writes one JSON checkpoint per tenant, and exits 0; a follow-up
 //! `--resume` start restores every tenant byte-identically.
 
-use dox_obs::http::HttpServer;
+use dox_obs::http::{HttpServer, ServerConfig};
 use dox_serve::ServeState;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +65,8 @@ struct Args {
     addr: String,
     http_workers: usize,
     max_body: usize,
+    max_backlog: usize,
+    deadline: Duration,
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     quiet: bool,
@@ -71,6 +76,8 @@ const HELP: &str = "dox-serve — continuous-ingest service daemon
   --addr <host:port>    bind address (default 127.0.0.1:9321)
   --http-workers <n>    connection worker threads (default 8)
   --max-body <bytes>    request body limit (default 4 MiB)
+  --max-backlog <n>     waiting-connection bound; overflow sheds 503 (default 1024)
+  --deadline-ms <ms>    per-request wall-clock budget (default 30000)
   --checkpoint-dir <d>  SIGTERM drain writes tenant_<id>.json here
   --resume              restore tenants from --checkpoint-dir first
   --quiet               no startup/drain notices";
@@ -80,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:9321".to_string(),
         http_workers: 8,
         max_body: dox_obs::http::DEFAULT_MAX_BODY,
+        max_backlog: dox_obs::http::DEFAULT_MAX_BACKLOG,
+        deadline: dox_obs::http::DEFAULT_REQUEST_DEADLINE,
         checkpoint_dir: None,
         resume: false,
         quiet: false,
@@ -99,6 +108,23 @@ fn parse_args() -> Result<Args, String> {
             "--max-body" => {
                 let v = it.next().ok_or("--max-body needs a value")?;
                 args.max_body = v.parse().map_err(|_| format!("bad body limit {v:?}"))?;
+            }
+            "--max-backlog" => {
+                let v = it.next().ok_or("--max-backlog needs a value")?;
+                args.max_backlog = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or(format!("bad backlog bound {v:?}"))?;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a value")?;
+                args.deadline = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .map(Duration::from_millis)
+                    .ok_or(format!("bad deadline {v:?}"))?;
             }
             "--checkpoint-dir" => {
                 args.checkpoint_dir =
@@ -155,7 +181,17 @@ fn main() -> ExitCode {
     install_signal_handlers();
 
     let router = dox_serve::router(Arc::clone(&state), &tracer);
-    let server = match HttpServer::start(&args.addr, router, args.http_workers, args.max_body) {
+    let config = ServerConfig {
+        workers: args.http_workers,
+        max_body: args.max_body,
+        max_backlog: args.max_backlog,
+        request_deadline: args.deadline,
+        // The http.* shed/backlog/deadline instruments land in the same
+        // registry /metrics serves.
+        registry: state.registry().clone(),
+        ..ServerConfig::default()
+    };
+    let server = match HttpServer::start_with(&args.addr, router, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", args.addr);

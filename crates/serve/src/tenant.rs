@@ -14,6 +14,7 @@
 //! key, accounts by the fingerprint of `network:handle`. Raw handles
 //! and bodies never leave the engine's output buffer.
 
+use crate::quota::QuotaSpec;
 use dox_core::error::{Error, Result};
 use dox_core::study::{Study, StudyConfig};
 use dox_engine::output::DetectedDox;
@@ -38,6 +39,11 @@ pub struct TenantSpec {
     /// Engine dedup shards (checkpoints only resume under the same
     /// shard count).
     pub shards: usize,
+    /// Optional ingest quota (docs/s token bucket, in-flight byte
+    /// cap). Operator policy, not identity: excluded from
+    /// [`TenantSpec::fingerprint`] so retuning a quota never
+    /// invalidates existing checkpoints.
+    pub quota: Option<QuotaSpec>,
 }
 
 impl TenantSpec {
@@ -69,18 +75,25 @@ impl TenantSpec {
             Some(v) => usize::try_from(v.as_u64()?).ok().filter(|s| *s > 0)?,
             None => defaults.shards,
         };
+        let quota = match value.get("quota") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(QuotaSpec::from_value(v)?),
+        };
         Some(Self {
             id,
             seed,
             scale,
             workers,
             shards,
+            quota,
         })
     }
 
     /// The spec as a JSON object (inverse of [`TenantSpec::from_value`]).
+    /// The `quota` key is emitted only when set, so pre-quota
+    /// checkpoints and new quota-less ones stay byte-identical.
     pub fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("id".to_string(), Value::String(self.id.clone())),
             ("seed".to_string(), Value::Number(Number::U64(self.seed))),
             ("scale".to_string(), Value::Number(Number::F64(self.scale))),
@@ -92,7 +105,11 @@ impl TenantSpec {
                 "shards".to_string(),
                 Value::Number(Number::U64(self.shards as u64)),
             ),
-        ])
+        ];
+        if let Some(quota) = &self.quota {
+            fields.push(("quota".to_string(), quota.to_value()));
+        }
+        Value::Object(fields)
     }
 
     /// The derived study configuration: the scaled paper config with
@@ -112,7 +129,9 @@ impl TenantSpec {
 
     /// Stable fingerprint of the spec-to-config mapping, stored in
     /// checkpoints so a file written under a different mapping (or a
-    /// tampered spec) is rejected instead of misread.
+    /// tampered spec) is rejected instead of misread. The quota is
+    /// deliberately excluded: it never reaches the study config, and an
+    /// operator retuning it must not strand existing checkpoints.
     pub fn fingerprint(&self) -> u32 {
         let material = format!(
             "tenant|{}|{}|{:x}|{}|{}",
@@ -665,6 +684,7 @@ mod tests {
             scale: 0.005,
             workers: 2,
             shards: 4,
+            quota: None,
         }
     }
 
@@ -674,6 +694,18 @@ mod tests {
         let parsed = TenantSpec::from_value(&s.to_value()).expect("round trip");
         assert_eq!(parsed, s);
         assert_eq!(parsed.fingerprint(), s.fingerprint());
+
+        // A quota rides along in the JSON but never joins the
+        // fingerprint — retuning it must not strand checkpoints.
+        let mut quotad = spec("alpha-1");
+        quotad.quota = Some(crate::quota::QuotaSpec {
+            docs_per_sec: Some(50.0),
+            burst_docs: Some(100),
+            max_inflight_bytes: Some(1 << 20),
+        });
+        let parsed = TenantSpec::from_value(&quotad.to_value()).expect("quota round trip");
+        assert_eq!(parsed, quotad);
+        assert_eq!(quotad.fingerprint(), s.fingerprint());
 
         let bad_id = Value::Object(vec![
             ("id".to_string(), Value::String("has space".to_string())),

@@ -70,6 +70,9 @@ scripts/chaos_smoke.sh
 step "serve smoke test (daemon ingest, SIGTERM drain, resume, byte-compare)"
 scripts/serve_smoke.sh
 
+step "overload gate (10x burst: shed, quota, deadline, recovery, flat RSS)"
+scripts/overload_gate.sh
+
 step "trace overhead gate (tracing disabled within 2% of the PR 5 baseline)"
 # Best-of-N timer: more samples only sharpen the min, and 7 proved too
 # few to shake off ambient load on a single-hardware-thread box.

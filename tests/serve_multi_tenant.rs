@@ -26,6 +26,7 @@ fn spec(i: usize, seed: u64) -> TenantSpec {
         scale: SCALE,
         workers: 2,
         shards: 4,
+        quota: None,
     }
 }
 
